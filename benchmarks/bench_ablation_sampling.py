@@ -1,0 +1,83 @@
+"""Ablation -- regular sampling vs random sampling vs local-only rank.
+
+The paper argues for regular sampling (distribution independence, the
+2N/p bound) and for globalizing the rank against a gathered sample
+(section 2.3.1: local-only ranks misbucket diverse inputs).  This bench
+measures both choices by bucket skew.
+"""
+
+import numpy as np
+
+from _util import fmt_table, once, write_report
+
+from repro import sample_align_d
+from repro.core.config import SampleAlignDConfig
+from repro.datagen.genome import SyntheticGenome
+from repro.samplesort import max_bucket_bound
+
+
+def run_variant(seqs, p, **cfg_kwargs):
+    config = SampleAlignDConfig(local_aligner="center-star", **cfg_kwargs)
+    res = sample_align_d(seqs, n_procs=p, config=config)
+    sizes = res.bucket_sizes
+    return {
+        "max": int(sizes.max()),
+        "mean": float(sizes.mean()),
+        "skew": float(sizes.max() / max(sizes.mean(), 1e-9)),
+        "empty": int((sizes == 0).sum()),
+    }
+
+
+def test_ablation_sampling(benchmark, genome):
+    seqs = genome.sample_proteins(min(240, len(genome.proteins)), seed=2)
+    p = 8
+    bound = max_bucket_bound(len(seqs), p)
+
+    variants = {
+        "regular + globalized (paper)": {},
+        "random sampling": {"sampling": "random"},
+        "local-only rank": {"globalize_rank": False},
+        "random + local-only": {"sampling": "random", "globalize_rank": False},
+    }
+    stats = {}
+    names = list(variants)
+    for name in names[:-1]:
+        stats[name] = run_variant(seqs, p, **variants[name])
+    stats[names[-1]] = once(
+        benchmark, run_variant, seqs, p, **variants[names[-1]]
+    )
+
+    rows = [
+        [
+            name,
+            s["max"],
+            f"{s['mean']:.1f}",
+            f"{s['skew']:.2f}",
+            s["empty"],
+            "yes" if s["max"] <= bound + p else "NO",
+        ]
+        for name, s in stats.items()
+    ]
+    report = "\n".join(
+        [
+            f"Ablation: sampling strategy, N={len(seqs)}, p={p}, "
+            f"2N/p bound = {bound}",
+            "",
+            fmt_table(
+                ["variant", "max_bucket", "mean", "skew", "empty_buckets",
+                 "bound held"],
+                rows,
+            ),
+        ]
+    )
+    write_report("ablation_sampling", report)
+
+    paper = stats["regular + globalized (paper)"]
+    # The paper's configuration must satisfy the occupancy bound.
+    assert paper["max"] <= bound + p
+    # Regular sampling must not be beaten badly on skew by the paper's
+    # rejected alternatives.
+    assert paper["skew"] <= min(
+        stats["random sampling"]["skew"],
+        stats["local-only rank"]["skew"],
+    ) + 0.75

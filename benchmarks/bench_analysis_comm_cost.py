@@ -1,0 +1,82 @@
+"""Section 3 -- communication cost and the 2N/p load bound, metered.
+
+The paper's analysis: total communication O(p^2 L) + O(p log p) +
+O((N/p) L) + O(L log p), and no processor receives more than 2N/p
+sequences after redistribution.  The virtual cluster meters every
+message, so both claims are checkable directly against a real run.
+"""
+
+import numpy as np
+
+from _util import fmt_table, once, write_report
+
+from repro import sample_align_d
+from repro.core.config import SampleAlignDConfig
+from repro.datagen.rose import generate_family
+from repro.samplesort import max_bucket_bound
+
+
+def test_comm_cost_analysis(benchmark):
+    n, L = 320, 120
+    fam = generate_family(
+        n_sequences=n, mean_length=L, relatedness=800, seed=21,
+        track_alignment=False,
+    )
+    config = SampleAlignDConfig(local_aligner="muscle-p")
+
+    procs = (2, 4, 8, 16)
+    runs = {}
+    for p in procs:
+        runs[p] = (
+            once(benchmark, sample_align_d, fam.sequences, n_procs=p,
+                 config=config)
+            if p == procs[-1]
+            else sample_align_d(fam.sequences, n_procs=p, config=config)
+        )
+
+    rows = []
+    for p in procs:
+        res = runs[p]
+        by_kind = res.ledger.bytes_by_kind()
+        redistribution = by_kind.get("alltoall", 0)
+        sampling = by_kind.get("gather", 0) + by_kind.get("bcast", 0)
+        formula = p * p * L + (n / p) * L * p  # leading section-3 terms
+        rows.append(
+            [
+                p,
+                res.ledger.n_messages(),
+                res.ledger.total_bytes(),
+                redistribution,
+                sampling,
+                f"{res.ledger.total_bytes() / formula:.2f}",
+                res.bucket_sizes.max(),
+                max_bucket_bound(n, p),
+            ]
+        )
+
+    report = "\n".join(
+        [
+            f"Section 3 analysis: metered communication, N={n}, L={L}",
+            "",
+            fmt_table(
+                ["p", "messages", "total_B", "alltoall_B",
+                 "sample+bcast_B", "bytes/formula", "max_bucket",
+                 "2N/p bound"],
+                rows,
+            ),
+            "",
+            "bytes/formula should stay O(1) across p if the section-3",
+            "term structure is right; max_bucket must respect the bound.",
+        ]
+    )
+    write_report("analysis_comm_cost", report)
+
+    # The load-balance guarantee (with tie slack, see samplesort tests).
+    for p in procs:
+        assert runs[p].bucket_sizes.max() <= max_bucket_bound(n, p) + p
+    # The constant factor of bytes vs the formula stays bounded over p.
+    ratios = [
+        runs[p].ledger.total_bytes() / (p * p * L + (n / p) * L * p)
+        for p in procs
+    ]
+    assert max(ratios) / min(ratios) < 12.0

@@ -1,0 +1,79 @@
+"""Introduction's argument -- stage-parallel tools vs domain decomposition.
+
+The paper motivates Sample-Align-D by noting that existing parallel MSA
+systems only parallelise the distance/tree stages while the progressive
+alignment stays sequential, "thus limiting the amount of the achievable
+speedup".  This bench measures that limit directly: ParallelClustalW
+(stage-parallel, the surveyed architecture) against Sample-Align-D (full
+domain decomposition) on the same inputs and the same virtual cluster.
+"""
+
+import numpy as np
+
+from _util import fmt_table, once, write_report
+
+from repro import sample_align_d
+from repro.core.config import SampleAlignDConfig
+from repro.datagen.rose import generate_family
+from repro.msa.parallel_baseline import ParallelClustalW
+
+
+def test_baseline_comparison(benchmark):
+    fam = generate_family(
+        n_sequences=192, mean_length=110, relatedness=800, seed=33,
+        track_alignment=False,
+    )
+    seqs = fam.sequences
+    procs = (1, 2, 4, 8, 16)
+
+    baseline = ParallelClustalW()
+    base_times = {}
+    for p in procs:
+        res = (
+            once(benchmark, baseline.align, seqs, n_procs=p)
+            if p == procs[-1]
+            else baseline.align(seqs, n_procs=p)
+        )
+        base_times[p] = res.modeled_time
+
+    sad_times = {}
+    config = SampleAlignDConfig(local_aligner="clustalw")
+    for p in procs:
+        sad_times[p] = sample_align_d(seqs, n_procs=p, config=config).modeled_time
+
+    rows = []
+    for p in procs:
+        rows.append(
+            [
+                p,
+                f"{base_times[p]:.3f}",
+                f"{base_times[1] / base_times[p]:.2f}x",
+                f"{sad_times[p]:.3f}",
+                f"{sad_times[1] / sad_times[p]:.2f}x",
+            ]
+        )
+    report = "\n".join(
+        [
+            "Stage-parallel baseline vs Sample-Align-D "
+            f"(N={len(seqs)}, same clustalw engine, modeled cluster time)",
+            "",
+            fmt_table(
+                ["p", "stage-parallel_s", "speedup", "sample-align-d_s",
+                 "speedup"],
+                rows,
+            ),
+            "",
+            "The stage-parallel architecture saturates (Amdahl: the",
+            "sequential progressive stage bounds the speedup) while the",
+            "domain-decomposed pipeline keeps scaling -- the paper's",
+            "motivating argument, measured.",
+        ]
+    )
+    write_report("baseline_comparison", report)
+
+    base_speedup_16 = base_times[1] / base_times[16]
+    sad_speedup_16 = sad_times[1] / sad_times[16]
+    # Domain decomposition must clearly beat the Amdahl-limited baseline.
+    assert sad_speedup_16 > base_speedup_16 * 1.5
+    # The baseline saturates: going 8 -> 16 ranks buys little.
+    assert base_times[16] > 0.75 * base_times[8]

@@ -1,0 +1,54 @@
+"""Fig. 5 -- speedup curves (superlinear for large N; dip at p=16 for
+small N).
+
+Paper: speedup T(1)/T(p) is superlinear because per-bucket alignment
+cost falls faster than linearly in p (their model: (N/p)^4); for the two
+smaller datasets speedup deteriorates at p=16 (work granularity too
+fine), while N=20000 keeps improving.
+"""
+
+import numpy as np
+
+from _util import FULL, fmt_table, once, write_report
+
+from repro.perfmodel import speedup_curve
+
+
+def test_fig5_speedup(benchmark, scalability_sweep, coeffs):
+    procs = scalability_sweep["procs"]
+    rows = scalability_sweep["rows"]
+
+    once(benchmark, lambda: None)
+
+    lines = [
+        "Fig. 5: speedup T(1)/T(p), modeled cluster time "
+        f"({'paper scale' if FULL else 'scaled workloads'})",
+        "",
+    ]
+    table = []
+    measured_speedups = {}
+    for n, per_p in rows.items():
+        t1 = per_p[procs[0]]["modeled"]
+        s = [t1 / per_p[p]["modeled"] for p in procs]
+        measured_speedups[n] = s
+        table.append([n] + [f"{x:.1f}" for x in s])
+    lines.append(fmt_table(["N \\ p"] + [str(p) for p in procs], table))
+
+    lines.append("")
+    lines.append("Analytic model at the paper's sizes:")
+    model_rows = []
+    for n in (5000, 10000, 20000):
+        s = speedup_curve(n, 300, procs, coeffs)
+        model_rows.append([n] + [f"{x:.1f}" for x in s])
+    lines.append(fmt_table(["N \\ p"] + [str(p) for p in procs], model_rows))
+    write_report("fig5_speedup", "\n".join(lines))
+
+    sizes = sorted(rows)
+    largest = sizes[-1]
+    s_large = measured_speedups[largest]
+    # Superlinear speedup for the largest workload (the paper's headline).
+    assert s_large[1] > 4.0, f"p=4 speedup {s_large[1]:.1f} not superlinear"
+    # Speedup grows with N at the largest p (granularity effect: small
+    # workloads benefit less from 16 ranks -- the paper's dip).
+    s_at_max_p = [measured_speedups[n][-1] for n in sizes]
+    assert s_at_max_p[-1] >= s_at_max_p[0]

@@ -1,0 +1,100 @@
+"""Table 1 -- statistics of globalized vs centralized k-mer rank.
+
+Paper values (N = 5000, protein sequences):
+
+    (max, min) centralized  (1.44827, 0.0)     average 0.722962
+    (max, min) globalized   (1.46207, 0.0)     average 1.11302
+    variance w.r.t. centralized 0.33190        std 0.576377
+
+The measured default uses N = 2000 (same estimator, same workload recipe;
+REPRO_BENCH_FULL=1 runs the paper's 5000).  The sampling stage mirrors
+the pipeline exactly: contiguous blocks (families grouped, like the
+paper's pre-placed node files), local rank, local sort, ``p-1`` regular
+samples per block.
+
+Reproduction notes: the centralized statistics land on the paper's
+(average ~0.72-0.76, max well below the -ln(0.1) = 2.30 ceiling, same
+support).  Our *globalized* estimator -- the direct sample-mean of the
+match fraction, which is what the paper's formula says -- is nearly
+unbiased (|mean shift| ~0.003), whereas the paper reports a large upward
+shift (0.72 -> 1.11).  Their text attributes the globalized rank to a
+*phylogenetic tree built over the samples* rather than the direct mean;
+that unspecified tree mediation is the only plausible source of their
+bias, and we record the discrepancy rather than imitate an estimator the
+paper does not define.  The usability claim Table 1 exists to support --
+the sample-based rank deviates from the centralized one by much less
+than the rank range, so bucketing on it is safe -- holds *more* strongly
+here (std 0.005-0.06 vs their 0.58 on a ~1.5-wide range).
+"""
+
+import numpy as np
+
+from _util import FULL, fmt_table, once, write_report
+
+from repro.datagen.genome import SyntheticGenome
+from repro.kmer.rank import RankConfig, centralized_rank, globalized_rank
+from repro.metrics.stats import deviation_stats
+from repro.samplesort import regular_sample
+
+
+def pipeline_sample(seqs, p, cfg):
+    """The algorithm's own sampling stage: block-local rank + regular pick."""
+    blocks = np.array_split(np.arange(len(seqs)), p)
+    sample = []
+    for blk in blocks:
+        bseqs = [seqs[i] for i in blk]
+        local = centralized_rank(bseqs, cfg)
+        order = np.argsort(local, kind="stable")
+        pick = regular_sample(order, p - 1)
+        sample.extend(bseqs[int(i)] for i in pick)
+    return sample
+
+
+def test_table1_rank_stats(benchmark):
+    n = 5000 if FULL else 2000
+    genome = SyntheticGenome(n_proteins=n, mean_length=300, seed=7)
+    seqs = list(genome.proteins)
+    cfg = RankConfig()
+    p = 16
+
+    central = once(benchmark, centralized_rank, seqs, cfg)
+    sample = pipeline_sample(seqs, p, cfg)
+    globalized = globalized_rank(seqs, sample, cfg)
+
+    var, std = deviation_stats(globalized, central)
+    rows = [
+        ["(max, min) centralized",
+         f"({central.max():.5f}, {central.min():.5f})", "(1.44827, 0.0)"],
+        ["average centralized", f"{central.mean():.6f}", "0.722962"],
+        ["(max, min) globalized",
+         f"({globalized.max():.5f}, {globalized.min():.5f})",
+         "(1.46207, 0.0)"],
+        ["average globalized", f"{globalized.mean():.6f}", "1.11302"],
+        ["variance w.r.t. centralized", f"{var:.5f}", "0.33190"],
+        ["std w.r.t. centralized", f"{std:.6f}", "0.576377"],
+    ]
+    report = "\n".join(
+        [
+            f"Table 1: rank statistics, N={n}, p={p}, sample={len(sample)} "
+            f"({'paper scale' if FULL else 'scaled; paper used 5000'})",
+            "",
+            fmt_table(["statistic", "measured", "paper"], rows),
+            "",
+            "Note: our globalized estimator (the direct sample mean the",
+            "paper's formula defines) is nearly unbiased; the paper's large",
+            "upward shift stems from an unspecified tree-mediated variant",
+            "(see module docstring).  The bucketing-safety claim the table",
+            "supports holds a fortiori.",
+        ]
+    )
+    write_report("table1_rank_stats", report)
+
+    # Centralized statistics land in the paper's band.
+    assert 0.55 < central.mean() < 0.95
+    assert central.max() < 2.31 and central.min() >= 0.0
+    # Globalized estimator usable for bucketing: deviation well below the
+    # occupied rank range (the paper's own acceptance criterion).
+    rank_range = central.max() - central.min()
+    assert std < max(0.5 * rank_range, 0.58)
+    # And at least as unbiased as the paper's estimator.
+    assert abs(globalized.mean() - central.mean()) <= 1.11302 - 0.722962

@@ -1,0 +1,88 @@
+"""Session fixtures shared across the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _util import FULL  # noqa: E402
+
+from repro import sample_align_d  # noqa: E402
+from repro.core.config import SampleAlignDConfig  # noqa: E402
+from repro.datagen.genome import SyntheticGenome  # noqa: E402
+from repro.datagen.rose import generate_family  # noqa: E402
+from repro.perfmodel import calibrate_kernels  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def coeffs():
+    """Calibrated kernel coefficients (one calibration per bench run)."""
+    return calibrate_kernels(lengths=(60, 100), widths=(8, 16, 32))
+
+
+@pytest.fixture(scope="session")
+def genome():
+    """Synthetic archaeal proteome (Fig. 6's data substitute)."""
+    n = 2000 if FULL else 400
+    return SyntheticGenome(n_proteins=n, mean_length=316, seed=0)
+
+
+@pytest.fixture(scope="session")
+def timing_workloads():
+    """Rose workloads for the Fig. 4/5 measured sweeps.
+
+    The paper uses N = 5000/10000/20000, L = 300, relatedness = 800.
+    Scaled-down defaults keep the same 1:2:4 N ratio and the same
+    relatedness; REPRO_BENCH_FULL=1 switches to the paper sizes.
+    """
+    if FULL:
+        sizes = (5000, 10000, 20000)
+        length = 300
+    else:
+        sizes = (160, 320, 640)
+        length = 120
+    out = {}
+    for n in sizes:
+        fam = generate_family(
+            n_sequences=n,
+            mean_length=length,
+            relatedness=800,
+            seed=42,
+            track_alignment=False,
+        )
+        out[n] = fam.sequences
+    return out
+
+
+@pytest.fixture(scope="session")
+def scalability_sweep(timing_workloads):
+    """Measured Sample-Align-D wall/modeled times over the p sweep.
+
+    Shared by the Fig. 4 (time) and Fig. 5 (speedup) benches so the sweep
+    runs once per session.
+    """
+    procs = (1, 4, 8, 12, 16)
+    config = SampleAlignDConfig(local_aligner="muscle-p")
+    rows = {}
+    for n, seqs in timing_workloads.items():
+        per_p = {}
+        for p in procs:
+            t0 = time.perf_counter()
+            res = sample_align_d(seqs, n_procs=p, config=config)
+            wall = time.perf_counter() - t0
+            per_p[p] = {
+                "wall": wall,
+                "modeled": res.modeled_time,
+                "max_compute": res.ledger.max_compute(),
+                "total_compute": res.ledger.total_compute(),
+                "bytes": res.ledger.total_bytes(),
+                "buckets": res.bucket_sizes.tolist(),
+            }
+        rows[n] = per_p
+    return {"procs": procs, "rows": rows}

@@ -1,0 +1,65 @@
+"""Alignment engine: DP kernels, profiles, trees, progressive MSA.
+
+- :mod:`repro.align.dp` -- the shared affine-gap DP kernel (Gotoh), exactly
+  row-vectorised with numpy, supporting position-specific gap penalties and
+  scaled terminal gaps.
+- :mod:`repro.align.pairwise` -- global/local pairwise alignment wrappers.
+- :mod:`repro.align.profile` -- :class:`Profile` (column statistics over an
+  alignment) and profile merging along a DP path.
+- :mod:`repro.align.profile_align` -- profile-profile alignment (the PSP
+  scoring MUSCLE popularised; used both by progressive alignment and by the
+  paper's ancestor "tweak" step).
+- :mod:`repro.align.guide_tree` -- UPGMA/WPGMA/neighbour-joining trees.
+- :mod:`repro.align.progressive` -- tree-driven progressive alignment.
+- :mod:`repro.align.refine` -- tree-dependent restricted-partitioning
+  iterative refinement.
+- :mod:`repro.align.consensus` -- consensus/"ancestor" extraction.
+- :mod:`repro.align.scoring` -- SP scores (vectorised linear and exact
+  affine forms).
+"""
+
+from repro.align.dp import AffineDPResult, affine_align, affine_score
+from repro.align.incremental import add_sequence, add_sequences
+from repro.align.kband import banded_align, banded_score
+from repro.align.pairwise import (
+    PairwiseResult,
+    global_align,
+    global_score,
+    local_align,
+    pairwise_identity,
+)
+from repro.align.profile import Profile, merge_profiles
+from repro.align.profile_align import ProfileAlignConfig, align_profiles
+from repro.align.guide_tree import GuideTree, neighbor_joining, upgma, wpgma
+from repro.align.progressive import progressive_align
+from repro.align.refine import refine_alignment
+from repro.align.consensus import consensus_sequence
+from repro.align.scoring import affine_sp_score, sp_score
+
+__all__ = [
+    "AffineDPResult",
+    "GuideTree",
+    "PairwiseResult",
+    "Profile",
+    "ProfileAlignConfig",
+    "add_sequence",
+    "add_sequences",
+    "affine_align",
+    "affine_score",
+    "affine_sp_score",
+    "align_profiles",
+    "banded_align",
+    "banded_score",
+    "consensus_sequence",
+    "global_align",
+    "global_score",
+    "local_align",
+    "merge_profiles",
+    "neighbor_joining",
+    "pairwise_identity",
+    "progressive_align",
+    "refine_alignment",
+    "sp_score",
+    "upgma",
+    "wpgma",
+]

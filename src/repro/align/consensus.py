@@ -1,0 +1,49 @@
+"""Consensus ("ancestor") extraction from alignments.
+
+The paper's local/global *ancestors* are consensus sequences: the most
+frequent residue of each sufficiently occupied column (section 2.3.3,
+following the root-profile idea of MUSCLE [12] and PSI-BLAST [19]).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.align.profile import Profile
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+__all__ = ["consensus_sequence"]
+
+
+def consensus_sequence(
+    source: Union[Alignment, Profile],
+    id: str = "consensus",
+    min_occupancy: float = 0.5,
+) -> Sequence:
+    """Majority-residue consensus of an alignment.
+
+    Columns whose occupancy (non-gap fraction) is below ``min_occupancy``
+    are dropped -- they describe insertions private to few members and
+    would bloat the ancestor.  Ties break toward the lower residue code
+    (deterministic).  If *no* column passes the threshold the most occupied
+    columns are used instead, so the consensus is never empty for a
+    non-empty alignment.
+    """
+    if not 0.0 <= min_occupancy <= 1.0:
+        raise ValueError("min_occupancy must lie in [0, 1]")
+    profile = source if isinstance(source, Profile) else Profile(source)
+    aln = profile.alignment
+    if aln.n_rows == 0 or aln.n_columns == 0:
+        raise ValueError("cannot take the consensus of an empty alignment")
+
+    counts = profile.counts[:, :-1]  # residue counts, gaps excluded
+    occ = profile.occupancy
+    keep = occ >= min_occupancy
+    if not keep.any():
+        keep = occ >= occ.max()
+    best = counts[keep].argmax(axis=1)
+    residues = "".join(aln.alphabet.symbols[c] for c in best)
+    return Sequence(id, residues, aln.alphabet)

@@ -1,0 +1,381 @@
+"""Guide trees: UPGMA / WPGMA clustering and neighbour joining.
+
+A :class:`GuideTree` is a rooted binary merge order over ``n`` leaves:
+leaves are nodes ``0..n-1``, the ``i``-th merge creates node ``n+i``, and
+the last merge is the root.  Progressive alignment simply replays the merge
+list; iterative refinement enumerates its bipartitions.
+
+The clustering implementations are written from scratch (they are part of
+the substrate the paper assumes); the UPGMA variant is validated against
+``scipy.cluster.hierarchy.linkage`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence as TSequence, Tuple
+
+import numpy as np
+
+__all__ = ["GuideTree", "upgma", "wpgma", "neighbor_joining"]
+
+
+@dataclass
+class GuideTree:
+    """A rooted binary tree over ``n_leaves`` labelled leaves.
+
+    Attributes
+    ----------
+    n_leaves:
+        Number of leaves.
+    merges:
+        ``(n_leaves-1, 2)`` int array; row ``i`` holds the two child node
+        ids merged into node ``n_leaves + i``.
+    heights:
+        Height of each internal node (same order as ``merges``); only the
+        relative order matters to consumers.
+    labels:
+        Leaf labels (e.g. sequence ids), length ``n_leaves``.
+    """
+
+    n_leaves: int
+    merges: np.ndarray
+    heights: np.ndarray
+    labels: List[str]
+
+    def __post_init__(self) -> None:
+        self.merges = np.asarray(self.merges, dtype=np.int64)
+        self.heights = np.asarray(self.heights, dtype=np.float64)
+        if self.n_leaves < 1:
+            raise ValueError("tree needs at least one leaf")
+        if self.n_leaves == 1:
+            if self.merges.size:
+                raise ValueError("single-leaf tree cannot have merges")
+            return
+        if self.merges.shape != (self.n_leaves - 1, 2):
+            raise ValueError("merges must have shape (n_leaves-1, 2)")
+        if len(self.labels) != self.n_leaves:
+            raise ValueError("labels length must equal n_leaves")
+        seen = np.zeros(2 * self.n_leaves - 1, dtype=bool)
+        for i, (a, b) in enumerate(self.merges):
+            node = self.n_leaves + i
+            if not (0 <= a < node and 0 <= b < node and a != b):
+                raise ValueError(f"merge {i} references invalid children {a},{b}")
+            if seen[a] or seen[b]:
+                raise ValueError(f"merge {i} reuses an already-merged node")
+            seen[a] = seen[b] = True
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return 2 * self.n_leaves - 1
+
+    @property
+    def root(self) -> int:
+        return self.n_nodes - 1
+
+    def children(self, node: int) -> Tuple[int, int]:
+        if node < self.n_leaves:
+            raise ValueError("leaves have no children")
+        a, b = self.merges[node - self.n_leaves]
+        return int(a), int(b)
+
+    def leaves_under(self, node: int) -> np.ndarray:
+        """Sorted leaf ids of the subtree rooted at ``node``."""
+        if node < self.n_leaves:
+            return np.array([node], dtype=np.int64)
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            v = stack.pop()
+            if v < self.n_leaves:
+                out.append(v)
+            else:
+                stack.extend(self.children(v))
+        return np.array(sorted(out), dtype=np.int64)
+
+    def bipartitions(self, include_leaves: bool = True) -> List[np.ndarray]:
+        """Leaf sets cut off by every tree edge (one side per edge).
+
+        Every non-root node defines an edge to its parent; the returned
+        arrays are the leaf sets under those nodes.  These are the
+        restricted partitions that iterative refinement realigns.
+        """
+        parts: List[np.ndarray] = []
+        if include_leaves:
+            parts.extend(
+                np.array([v], dtype=np.int64) for v in range(self.n_leaves)
+            )
+        parts.extend(
+            self.leaves_under(self.n_leaves + i)
+            for i in range(self.n_leaves - 1)
+            if self.n_leaves + i != self.root
+        )
+        return parts
+
+    def to_newick(self, branch_lengths: bool = False) -> str:
+        """Newick rendering; optionally annotate branch lengths derived
+        from node heights (leaf height = 0)."""
+        n = self.n_leaves
+        height = np.zeros(self.n_nodes)
+        for i in range(len(self.merges)):
+            height[n + i] = self.heights[i]
+
+        def render(node: int, parent_h: float) -> str:
+            if node < n:
+                body = self.labels[node]
+            else:
+                a, b = self.children(node)
+                h = height[node]
+                body = f"({render(a, h)},{render(b, h)})"
+            if branch_lengths:
+                blen = max(parent_h - height[node], 0.0)
+                return f"{body}:{blen:.6g}"
+            return body
+
+        if n == 1:
+            return self.labels[0] + ";"
+        return render(self.root, height[self.root]) + ";"
+
+    @classmethod
+    def from_newick(cls, text: str) -> "GuideTree":
+        """Parse a (strictly binary) Newick string into a guide tree.
+
+        Supports optional ``:branch_length`` annotations; multifurcations
+        are rejected (progressive alignment needs binary merges).  Node
+        heights are reconstructed from branch lengths when present, else
+        from topology depth.
+        """
+        text = text.strip()
+        if not text.endswith(";"):
+            raise ValueError("newick text must end with ';'")
+        s = text[:-1]
+        pos = 0
+
+        def parse():  # returns (subtree, branch_length)
+            nonlocal pos
+            if pos < len(s) and s[pos] == "(":
+                pos += 1
+                left = parse()
+                if pos >= len(s) or s[pos] != ",":
+                    raise ValueError(f"expected ',' at position {pos}")
+                pos += 1
+                right = parse()
+                if pos < len(s) and s[pos] == ",":
+                    raise ValueError("multifurcating newick not supported")
+                if pos >= len(s) or s[pos] != ")":
+                    raise ValueError(f"expected ')' at position {pos}")
+                pos += 1
+                node = ("internal", left, right)
+            else:
+                start = pos
+                while pos < len(s) and s[pos] not in ",():;":
+                    pos += 1
+                label = s[start:pos].strip()
+                if not label:
+                    raise ValueError(f"empty leaf label at position {start}")
+                node = ("leaf", label)
+            blen = 0.0
+            if pos < len(s) and s[pos] == ":":
+                pos += 1
+                start = pos
+                while pos < len(s) and s[pos] not in ",()":
+                    pos += 1
+                blen = float(s[start:pos])
+            return (node, blen)
+
+        tree, _root_blen = parse()
+        if pos != len(s):
+            raise ValueError(f"trailing characters at position {pos}")
+
+        # Phase 1: collect leaf labels in reading order (their ids).
+        labels: List[str] = []
+
+        def collect(node) -> None:
+            if node[0] == "leaf":
+                labels.append(node[1])
+            else:
+                collect(node[1][0])
+                collect(node[2][0])
+
+        collect(tree)
+        n = len(labels)
+        if len(set(labels)) != n:
+            raise ValueError("duplicate leaf labels in newick text")
+        if n == 1:
+            return cls(1, np.zeros((0, 2)), np.zeros(0), labels)
+
+        # Phase 2: post-order id assignment (merge k creates node n + k).
+        merges: List[Tuple[int, int]] = []
+        heights: List[float] = []
+        leaf_iter = iter(range(n))
+
+        def emit(node) -> Tuple[int, float]:
+            if node[0] == "leaf":
+                return next(leaf_iter), 0.0
+            (lsub, lblen) = node[1]
+            (rsub, rblen) = node[2]
+            lid, lh = emit(lsub)
+            rid, rh = emit(rsub)
+            h = max(lh + lblen, rh + rblen)
+            if h <= 0.0:
+                h = max(lh, rh) + 1.0  # no branch lengths: depth heights
+            merges.append((lid, rid))
+            heights.append(h)
+            return n + len(merges) - 1, h
+
+        emit(tree)
+        return cls(n, np.array(merges), np.array(heights), labels)
+
+
+def _check_distance_matrix(d: np.ndarray) -> np.ndarray:
+    d = np.asarray(d, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    if (np.diag(d) != 0).any():
+        raise ValueError("distance matrix diagonal must be zero")
+    return d
+
+
+def _agglomerate(
+    dist: np.ndarray, labels: TSequence[str] | None, weighted: bool
+) -> GuideTree:
+    """UPGMA (average linkage) or WPGMA (weighted) clustering.
+
+    O(n^2) memory, close to O(n^2) time in practice via nearest-neighbour
+    caching: each cluster remembers its current nearest partner and only
+    clusters whose partner was invalidated rescan their row.
+    """
+    d = _check_distance_matrix(dist).copy()
+    n = d.shape[0]
+    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("labels length must match matrix size")
+    if n == 1:
+        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+
+    INF = np.inf
+    np.fill_diagonal(d, INF)
+    active = np.ones(n, dtype=bool)
+    node_id = np.arange(n)  # tree node id of each active row
+    sizes = np.ones(n)
+    nn = d.argmin(axis=1)
+    nn_dist = d[np.arange(n), nn]
+
+    merges = np.empty((n - 1, 2), dtype=np.int64)
+    heights = np.empty(n - 1)
+    next_id = n
+    for step in range(n - 1):
+        # Caches are refreshed eagerly after every merge (cluster distances
+        # never drop below a row's cached minimum under (W)PGMA updates),
+        # so the cached global minimum is always a valid closest pair.
+        masked = np.where(active, nn_dist, INF)
+        i = int(masked.argmin())
+        j = int(nn[i])
+        h = d[i, j]
+        merges[step] = (node_id[i], node_id[j])
+        heights[step] = h / 2.0
+
+        # Merge j into i (average or weighted-average linkage update).
+        if weighted:
+            new_row = 0.5 * (d[i] + d[j])
+        else:
+            new_row = (sizes[i] * d[i] + sizes[j] * d[j]) / (sizes[i] + sizes[j])
+        new_row[i] = INF
+        d[i] = new_row
+        d[:, i] = new_row
+        d[j] = INF
+        d[:, j] = INF
+        active[j] = False
+        sizes[i] += sizes[j]
+        node_id[i] = next_id
+        next_id += 1
+
+        if step == n - 2:
+            break
+        # Refresh caches: row i always; any row whose partner was i or j.
+        stale = np.flatnonzero(active & ((nn == i) | (nn == j)))
+        for r in np.concatenate(([i], stale)):
+            if not active[r]:
+                continue
+            row = np.where(active, d[r], INF)
+            row[r] = INF
+            c = int(row.argmin())
+            nn[r], nn_dist[r] = c, row[c]
+    return GuideTree(n, merges, heights, labels)
+
+
+def upgma(dist: np.ndarray, labels: TSequence[str] | None = None) -> GuideTree:
+    """Unweighted pair-group clustering (average linkage) -- the MUSCLE
+    draft-tree method."""
+    return _agglomerate(dist, labels, weighted=False)
+
+
+def wpgma(dist: np.ndarray, labels: TSequence[str] | None = None) -> GuideTree:
+    """Weighted pair-group clustering (McQuitty linkage)."""
+    return _agglomerate(dist, labels, weighted=True)
+
+
+def neighbor_joining(
+    dist: np.ndarray, labels: TSequence[str] | None = None
+) -> GuideTree:
+    """Saitou-Nei neighbour joining, rooted at the final join.
+
+    The CLUSTALW-style guide-tree method.  O(n^3) with vectorised Q-matrix
+    updates; branch lengths are folded into node heights (max child height
+    plus branch), which is all downstream consumers need.
+    """
+    d = _check_distance_matrix(dist).copy()
+    n = d.shape[0]
+    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("labels length must match matrix size")
+    if n == 1:
+        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+
+    active = list(range(n))
+    node_id = np.arange(n)
+    node_height = np.zeros(2 * n - 1)
+    merges: List[Tuple[int, int]] = []
+    heights: List[float] = []
+    next_id = n
+
+    while len(active) > 2:
+        idx = np.array(active)
+        sub = d[np.ix_(idx, idx)]
+        r = sub.sum(axis=1)
+        m = len(active)
+        q = (m - 2) * sub - r[:, None] - r[None, :]
+        np.fill_diagonal(q, np.inf)
+        a, b = np.unravel_index(int(q.argmin()), q.shape)
+        ia, ib = idx[a], idx[b]
+        dab = d[ia, ib]
+        # Branch lengths to the new internal node.
+        la = 0.5 * dab + (r[a] - r[b]) / (2 * (m - 2))
+        lb = dab - la
+        la, lb = max(la, 0.0), max(lb, 0.0)
+
+        merges.append((int(node_id[ia]), int(node_id[ib])))
+        h = max(
+            node_height[node_id[ia]] + la, node_height[node_id[ib]] + lb
+        )
+        heights.append(h)
+        node_height[next_id] = h
+
+        # Distances from the new node to the remaining ones.
+        rest = [x for x in active if x not in (ia, ib)]
+        for x in rest:
+            d[ia, x] = d[x, ia] = 0.5 * (d[ia, x] + d[ib, x] - dab)
+        node_id[ia] = next_id
+        next_id += 1
+        active.remove(ib)
+
+    ia, ib = active
+    merges.append((int(node_id[ia]), int(node_id[ib])))
+    heights.append(
+        max(node_height[node_id[ia]], node_height[node_id[ib]]) + d[ia, ib] / 2.0
+    )
+    return GuideTree(n, np.array(merges), np.array(heights), labels)

@@ -1,0 +1,158 @@
+"""Banded (k-band) global alignment with adaptive band doubling.
+
+For similar sequences the optimal alignment path stays near the main
+diagonal; restricting the DP to a band of half-width ``k`` around it
+costs O(k * max(m, n)) instead of O(m * n).  MUSCLE uses exactly this
+trick for its pairwise stages.  Optimality is certified by band
+doubling: if the optimal *banded* score could be improved by a path
+touching the band boundary, the band is doubled and the DP re-run; the
+score is provably optimal once it beats the best conceivable
+boundary-crossing path, and the loop always terminates because the band
+eventually covers the whole matrix.
+
+The in-band DP reuses the same exact row-vectorised lazy-F scan as the
+full kernel (:mod:`repro.align.dp`), applied to band-local slices.
+
+Performance note (measured, see the test suite): with numpy's per-row
+dispatch overhead the banded kernel does *not* beat the already-O(n)-
+memory score-only full kernel in wall time at protein lengths; its value
+in this code base is (a) O(k*n) traceback memory for very long inputs
+(the full traceback kernel stores three (m+1)x(n+1) matrices) and
+(b) substrate fidelity -- MUSCLE's pairwise stages are k-band.  In a
+compiled implementation the same algorithm is the usual large win.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.align.dp import NEG, affine_align, affine_score
+from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
+from repro.seq.sequence import Sequence
+
+__all__ = ["banded_score", "banded_align", "kband_global_score"]
+
+
+def _banded_forward(
+    S: np.ndarray, go: float, ge: float, k: int
+) -> Tuple[float, bool]:
+    """Score of the best path inside band |j - i*(n/m)| <= k.
+
+    Returns (score, touched_boundary).  Simple row-sliced implementation:
+    cells outside the band hold -inf, so boundary contact is detectable
+    by inspecting the band-edge cells that carried finite scores.
+    """
+    m, n = S.shape
+    slope = n / max(m, 1)
+    H_prev = np.full(n + 1, NEG)
+    E_prev = np.full(n + 1, NEG)
+    H_prev[0] = 0.0
+    hi0 = min(int(round(0 * slope)) + k, n)
+    H_prev[1 : hi0 + 1] = -(go + ge * np.arange(1, hi0 + 1))
+
+    touched = False
+    cum = ge * np.arange(n + 1)
+    for i in range(1, m + 1):
+        center = int(round(i * slope))
+        lo = max(center - k, 0)
+        hi = min(center + k, n)
+        H_row = np.full(n + 1, NEG)
+        E_row = np.full(n + 1, NEG)
+        if lo == 0:
+            H_row[0] = -(go + ge * i)
+        j = np.arange(max(lo, 1), hi + 1)
+        if j.size:
+            E_row[j] = np.maximum(E_prev[j], H_prev[j] - go) - ge
+            diag = H_prev[j - 1] + S[i - 1, j - 1]
+            h0 = np.maximum(diag, E_row[j])
+            # In-row horizontal scan over the band slice.
+            base = np.empty(j.size)
+            left = j[0] - 1
+            base[0] = (H_row[left] if left >= lo or left == 0 else NEG)
+            base[0] += cum[left] - go
+            base[1:] = h0[:-1] + cum[j[:-1]] - go
+            scan = np.maximum.accumulate(base)
+            f = scan - cum[j]
+            H_row[j] = np.maximum(h0, f)
+            # Boundary contact: a finite best score on the band edge of
+            # this row means a wider band might improve the result.
+            if H_row[j[0]] > NEG / 2 and j[0] > 0 and j[0] == center - k:
+                touched = True
+            if H_row[j[-1]] > NEG / 2 and j[-1] < n and j[-1] == center + k:
+                touched = True
+        H_prev, E_prev = H_row, E_row
+    return float(H_prev[n]), touched
+
+
+def kband_global_score(
+    S: np.ndarray, go: float, ge: float, initial_k: int = 16
+) -> float:
+    """Optimal global affine score via adaptive band doubling.
+
+    Exact: the band doubles until the optimum no longer touches the band
+    boundary (or the band covers the matrix).
+    """
+    m, n = S.shape
+    if m == 0 or n == 0:
+        return affine_score(S, go, ge)
+    k = max(initial_k, abs(n - m) + 1)
+    while True:
+        score, touched = _banded_forward(S, go, ge, k)
+        if not touched or k >= max(m, n):
+            return score
+        k *= 2
+
+
+def banded_score(
+    x: Sequence,
+    y: Sequence,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    gaps: GapPenalties = GapPenalties(),
+    initial_k: int = 16,
+) -> float:
+    """Global alignment score of two sequences via the adaptive k-band."""
+    S = matrix.pair_scores(x.codes, y.codes)
+    return kband_global_score(S, gaps.open, gaps.extend, initial_k)
+
+
+def banded_align(
+    x: Sequence,
+    y: Sequence,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    gaps: GapPenalties = GapPenalties(),
+    initial_k: int = 16,
+):
+    """Banded alignment *with traceback*.
+
+    Finds the certified band width via :func:`kband_global_score`-style
+    doubling, then runs the full-kernel traceback on the (cheap) final
+    band by masking out-of-band cells.  Returns the same result type as
+    :func:`repro.align.pairwise.global_align`.
+    """
+    from repro.align.pairwise import PairwiseResult
+
+    S = matrix.pair_scores(x.codes, y.codes).astype(np.float64)
+    m, n = S.shape
+    if m == 0 or n == 0:
+        res = affine_align(S, gaps.open, gaps.extend)
+        return PairwiseResult(x, y, res.score, res.x_map, res.y_map)
+
+    k = max(initial_k, abs(n - m) + 1)
+    while True:
+        score, touched = _banded_forward(S, gaps.open, gaps.extend, k)
+        if not touched or k >= max(m, n):
+            break
+        k *= 2
+    # Mask outside the certified band and run the exact kernel: the
+    # optimum is inside, so the masked problem has the same optimum.
+    slope = n / m
+    masked = np.full_like(S, NEG / 10)
+    for i in range(m):
+        center = int(round((i + 1) * slope))
+        lo = max(center - k - 1, 0)
+        hi = min(center + k, n)
+        masked[i, lo:hi] = S[i, lo:hi]
+    res = affine_align(masked, gaps.open, gaps.extend)
+    return PairwiseResult(x, y, score, res.x_map, res.y_map)

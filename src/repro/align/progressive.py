@@ -1,0 +1,101 @@
+"""Tree-driven progressive alignment.
+
+Replays a :class:`~repro.align.guide_tree.GuideTree`'s merge order,
+aligning profiles pairwise at every internal node -- the architecture
+shared by CLUSTALW, MUSCLE and MAFFT, and the sequential engine
+Sample-Align-D runs inside every processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence as TSequence
+
+import numpy as np
+
+from repro.align.guide_tree import GuideTree
+from repro.align.profile import Profile
+from repro.align.profile_align import ProfileAlignConfig, align_profiles
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+__all__ = ["progressive_align"]
+
+
+def progressive_align(
+    seqs: TSequence[Sequence],
+    tree: GuideTree,
+    config: ProfileAlignConfig | None = None,
+    sequence_weights: np.ndarray | None = None,
+    merge_fn=None,
+) -> Alignment:
+    """Align ``seqs`` progressively along ``tree``.
+
+    ``tree.labels`` must be exactly the sequence ids (leaf ``i`` is the
+    sequence labelled ``tree.labels[i]``).  Optional ``sequence_weights``
+    (one per leaf, CLUSTALW-style) rescale each single-sequence profile's
+    frequency mass before any merge, biasing column scores toward
+    under-represented sequences.  ``merge_fn(pa, pb) -> Profile`` overrides
+    the default optimal profile-profile merge (used e.g. by the MAFFT-like
+    FFT-anchored aligner).
+
+    Returns the final alignment with rows in the *input* sequence order.
+    """
+    config = config or ProfileAlignConfig()
+    seqs = list(seqs)
+    if len(seqs) == 0:
+        raise ValueError("cannot align zero sequences")
+    by_id = {s.id: s for s in seqs}
+    if set(tree.labels) != set(by_id) or tree.n_leaves != len(seqs):
+        raise ValueError("tree labels must match sequence ids exactly")
+    if sequence_weights is not None:
+        sequence_weights = np.asarray(sequence_weights, dtype=np.float64)
+        if sequence_weights.shape != (len(seqs),):
+            raise ValueError("need one weight per leaf")
+        if (sequence_weights <= 0).any():
+            raise ValueError("weights must be positive")
+        # Normalise to mean 1 so gap penalties keep their scale.
+        sequence_weights = sequence_weights / sequence_weights.mean()
+
+    profiles: Dict[int, Profile] = {}
+    for leaf, label in enumerate(tree.labels):
+        prof = Profile.from_sequence(by_id[label])
+        if sequence_weights is not None:
+            prof.frequencies = prof.frequencies * sequence_weights[leaf]
+        profiles[leaf] = prof
+
+    if len(seqs) == 1:
+        return profiles[0].alignment
+
+    for i, (a, b) in enumerate(tree.merges):
+        node = tree.n_leaves + i
+        pa, pb = profiles.pop(int(a)), profiles.pop(int(b))
+        if merge_fn is not None:
+            merged = merge_fn(pa, pb)
+        else:
+            merged, _res = align_profiles(pa, pb, config)
+        if sequence_weights is not None:
+            # Recompute weighted frequencies for the merged profile.
+            w = np.array(
+                [
+                    sequence_weights[tree.labels.index(rid)]
+                    for rid in merged.alignment.ids
+                ]
+            )
+            _apply_row_weights(merged, w)
+        profiles[node] = merged
+
+    final = profiles[tree.root].alignment
+    return final.select_rows([s.id for s in seqs])
+
+
+def _apply_row_weights(profile: Profile, weights: np.ndarray) -> None:
+    """Replace a profile's frequencies with row-weighted ones in place."""
+    aln = profile.alignment
+    A = aln.alphabet.size
+    freq = np.zeros((aln.n_columns, A))
+    gap = aln.alphabet.gap_code
+    for r in range(aln.n_rows):
+        row = aln.matrix[r]
+        mask = row != gap
+        np.add.at(freq, (np.flatnonzero(mask), row[mask]), weights[r])
+    profile.frequencies = freq / max(aln.n_rows, 1)

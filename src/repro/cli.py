@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``align``     Align a FASTA file with Sample-Align-D (or any registered
+              sequential aligner) and write gapped FASTA.
+``generate``  Emit a rose-style synthetic family as FASTA (optionally the
+              true alignment too).
+``rank``      Print k-mer rank statistics of a FASTA file (centralized vs
+              globalized estimators).
+``aligners``  List the registered sequential MSA systems.
+``quality``   Score an alignment against a reference alignment (Q/TC).
+``model``     Calibrate the performance model and print time/speedup
+              projections for a given (N, L) over a processor sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sample-Align-D: parallel MSA via phylogenetic sampling "
+        "and domain decomposition (IPDPS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="align a FASTA file")
+    p_align.add_argument("input", help="FASTA file of ungapped sequences")
+    p_align.add_argument("-o", "--output", help="output FASTA (default stdout)")
+    p_align.add_argument(
+        "-p", "--procs", type=int, default=4, help="virtual processors"
+    )
+    p_align.add_argument(
+        "--aligner",
+        default=None,
+        help="run a sequential aligner instead of Sample-Align-D",
+    )
+    p_align.add_argument(
+        "--local-aligner",
+        default="muscle-p",
+        help="Sample-Align-D's per-bucket aligner (registry name)",
+    )
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic family")
+    p_gen.add_argument("-n", "--n-sequences", type=int, default=50)
+    p_gen.add_argument("-l", "--mean-length", type=int, default=300)
+    p_gen.add_argument("-r", "--relatedness", type=float, default=800.0)
+    p_gen.add_argument("-s", "--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", help="output FASTA (default stdout)")
+    p_gen.add_argument(
+        "--reference", help="also write the true alignment to this path"
+    )
+
+    p_rank = sub.add_parser("rank", help="k-mer rank statistics of a FASTA file")
+    p_rank.add_argument("input")
+    p_rank.add_argument("-k", type=int, default=4, help="k-mer length")
+    p_rank.add_argument(
+        "--samples", type=int, default=16, help="sample size for the globalized estimator"
+    )
+
+    sub.add_parser("aligners", help="list registered sequential aligners")
+
+    p_q = sub.add_parser("quality", help="score an alignment vs a reference")
+    p_q.add_argument("test", help="gapped FASTA of the test alignment")
+    p_q.add_argument("reference", help="gapped FASTA of the reference")
+
+    p_m = sub.add_parser(
+        "model", help="performance-model projections for (N, L)"
+    )
+    p_m.add_argument("-n", "--n-sequences", type=int, default=2000)
+    p_m.add_argument("-l", "--mean-length", type=int, default=300)
+    p_m.add_argument(
+        "-p", "--procs", type=int, nargs="+", default=[1, 4, 8, 16]
+    )
+    return parser
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from repro.core.config import SampleAlignDConfig
+    from repro.core.driver import sample_align_d
+    from repro.msa.registry import get_aligner
+    from repro.seq.fasta import read_fasta
+
+    seqs = read_fasta(args.input)
+    if args.aligner:
+        aln = get_aligner(args.aligner).align(seqs)
+        summary = f"{args.aligner}: N={aln.n_rows} cols={aln.n_columns}"
+    else:
+        config = SampleAlignDConfig(local_aligner=args.local_aligner)
+        result = sample_align_d(seqs, n_procs=args.procs, config=config)
+        aln = result.alignment
+        summary = result.summary()
+    text = aln.to_fasta()
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    print(summary, file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datagen.rose import generate_family
+    from repro.seq.fasta import to_fasta
+
+    fam = generate_family(
+        n_sequences=args.n_sequences,
+        mean_length=args.mean_length,
+        relatedness=args.relatedness,
+        seed=args.seed,
+        track_alignment=args.reference is not None,
+    )
+    text = to_fasta(fam.sequences)
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    if args.reference:
+        with open(args.reference, "w", encoding="ascii") as fh:
+            fh.write(fam.reference.to_fasta())
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    from repro.kmer.rank import RankConfig, centralized_rank, globalized_rank
+    from repro.metrics.stats import ascii_histogram, deviation_stats, summarize
+    from repro.seq.fasta import read_fasta
+
+    seqs = list(read_fasta(args.input))
+    cfg = RankConfig(k=args.k)
+    central = centralized_rank(seqs, cfg)
+    n_samples = min(args.samples, len(seqs))
+    step = max(len(seqs) // max(n_samples, 1), 1)
+    sample = seqs[::step][:n_samples]
+    globalized = globalized_rank(seqs, sample, cfg)
+    print("centralized:", summarize(central).row())
+    print("globalized :", summarize(globalized).row())
+    var, std = deviation_stats(globalized, central)
+    print(f"variance w.r.t. centralized = {var:.5f}  (std {std:.5f})")
+    print(ascii_histogram(central, label="centralized rank"))
+    print(ascii_histogram(globalized, label="globalized rank"))
+    return 0
+
+
+def _cmd_aligners(_args: argparse.Namespace) -> int:
+    from repro.msa.registry import available_aligners
+
+    for name in available_aligners():
+        print(name)
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.metrics import qscore, total_column_score
+    from repro.seq.fasta import parse_fasta_alignment
+
+    with open(args.test, "r", encoding="ascii") as fh:
+        test = parse_fasta_alignment(fh.read())
+    with open(args.reference, "r", encoding="ascii") as fh:
+        ref = parse_fasta_alignment(fh.read())
+    print(f"Q  = {qscore(test, ref):.4f}")
+    print(f"TC = {total_column_score(test, ref):.4f}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        calibrate_kernels,
+        optimal_processors,
+        predict_sequential_time,
+        predict_total_time,
+    )
+
+    print("calibrating kernels on this host (a few seconds)...")
+    coeffs = calibrate_kernels()
+    n, L = args.n_sequences, args.mean_length
+    t_seq = predict_sequential_time(n, L, coeffs)
+    print(f"\nN={n} L={L}: sequential aligner ~{t_seq:.1f}s")
+    print(f"{'p':>4} {'time_s':>10} {'speedup':>8}")
+    for p in args.procs:
+        t = predict_total_time(n, p, L, coeffs)
+        print(f"{p:>4} {t:>10.2f} {t_seq / t:>7.1f}x")
+    best = optimal_processors(n, L, coeffs)
+    print(f"\nmodel-optimal processor count (<=64): {best}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "align": _cmd_align,
+        "generate": _cmd_generate,
+        "rank": _cmd_rank,
+        "aligners": _cmd_aligners,
+        "quality": _cmd_quality,
+        "model": _cmd_model,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

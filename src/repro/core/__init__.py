@@ -1,0 +1,33 @@
+"""The Sample-Align-D algorithm (the paper's contribution).
+
+The pipeline per rank (paper section 2's numbered algorithm):
+
+1.  local k-mer ranks over the rank's own ``N/p`` sequences, local sort;
+2.  ``k`` samples per rank, allgathered (``k*p`` global sample);
+3.  *globalized* re-rank of every sequence against the global sample;
+4.  regular sampling of ``p-1`` rank values per rank, pivot selection at
+    the root, broadcast;
+5.  all-to-all redistribution -- bucket ``i``'s sequences accumulate at
+    rank ``i`` (regular sampling bounds occupancy by ``2N/p``);
+6.  local sequential MSA of the bucket (pluggable aligner);
+7.  local ancestor (consensus) extraction, gathered at the root;
+8.  root aligns the ancestors, extracts the *global ancestor*, broadcasts;
+9.  each rank tweaks its local alignment against the global ancestor via
+    constrained profile-profile alignment;
+10. root glues the tweaked blocks onto the union column space.
+
+Public entry point: :func:`repro.core.driver.sample_align_d` (re-exported
+as :func:`repro.sample_align_d`).
+"""
+
+from repro.core.config import SampleAlignDConfig
+from repro.core.driver import MsaResult, sample_align_d
+from repro.core.algorithm import RankDiagnostics, sample_align_d_spmd
+
+__all__ = [
+    "MsaResult",
+    "RankDiagnostics",
+    "SampleAlignDConfig",
+    "sample_align_d",
+    "sample_align_d_spmd",
+]

@@ -1,0 +1,80 @@
+"""Local and global ancestors.
+
+The paper's fine-tuning constraint (sections 2.3.3 and Fig. 2): every
+processor extracts the *local ancestor* -- the consensus of its bucket's
+alignment -- and the root aligns those ancestors with a sequential MSA
+program; the consensus of that alignment is the *global ancestor*, the
+template every bucket is then tweaked against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence as TSequence
+
+from repro.align.consensus import consensus_sequence
+from repro.msa.base import SequentialMsaAligner
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+__all__ = ["local_ancestor", "global_ancestor", "merge_ancestors"]
+
+
+def local_ancestor(
+    aln: Optional[Alignment], rank: int, min_occupancy: float = 0.5
+) -> Optional[Sequence]:
+    """Consensus of a bucket alignment, or None for an empty bucket."""
+    if aln is None or aln.n_rows == 0 or aln.n_columns == 0:
+        return None
+    return consensus_sequence(
+        aln, id=f"ancestor_r{rank}", min_occupancy=min_occupancy
+    )
+
+
+def global_ancestor(
+    ancestors: TSequence[Optional[Sequence]],
+    aligner: SequentialMsaAligner,
+    min_occupancy: float = 0.5,
+) -> Sequence:
+    """Align the local ancestors and take their consensus.
+
+    ``ancestors`` is the root's gather (one entry per rank, None for empty
+    buckets).  With a single non-empty ancestor it is returned directly.
+    """
+    present: List[Sequence] = [a for a in ancestors if a is not None]
+    if not present:
+        raise ValueError("no non-empty buckets: cannot build a global ancestor")
+    if len(present) == 1:
+        return present[0].with_id("global_ancestor")
+    aln = aligner.align(present)
+    return consensus_sequence(
+        aln, id="global_ancestor", min_occupancy=min_occupancy
+    )
+
+
+def merge_ancestors(
+    a: Optional[Sequence],
+    b: Optional[Sequence],
+    min_occupancy: float = 0.5,
+) -> Optional[Sequence]:
+    """Fold two ancestors into one: profile-align, take the consensus.
+
+    The binary operator of the ``"tree"`` ancestor reduction
+    (:class:`~repro.core.config.SampleAlignDConfig`): folding up a
+    binomial tree replaces the root's O(p^2 L) ancestor alignment with
+    ``log2(p)`` pairwise profile alignments of O(L^2) each.  The fold is
+    heuristic (not exactly associative), like every progressive
+    alignment; any fold order yields a valid ancestor template.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    from repro.align.profile import Profile
+    from repro.align.profile_align import align_profiles
+
+    merged, _res = align_profiles(
+        Profile.from_sequence(a), Profile.from_sequence(b.with_id(a.id + "+"))
+    )
+    return consensus_sequence(
+        merged.alignment, id=a.id, min_occupancy=min_occupancy
+    )

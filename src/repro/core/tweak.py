@@ -1,0 +1,137 @@
+"""Constrained realignment of a bucket against the global ancestor.
+
+Step 9 of the pipeline ("each of the profiles of aligned sequences are
+tweaked using the ancestor profile, with constraints"): the bucket's
+alignment is treated as a frozen profile -- its internal columns are never
+torn apart -- and profile-profile aligned against the global-ancestor
+profile.  The result anchors every bucket column either to an ancestor
+position ("match") or to an insertion slot between two ancestor positions,
+which is exactly the coordinate system the root needs to glue the buckets
+(:mod:`repro.core.glue`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.align.profile import Profile
+from repro.align.profile_align import ProfileAlignConfig, profile_score_matrix
+from repro.align.dp import affine_align
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+__all__ = ["TweakedBlock", "tweak_against_ancestor"]
+
+
+@dataclass
+class TweakedBlock:
+    """A bucket alignment expressed in global-ancestor coordinates.
+
+    Attributes
+    ----------
+    ids:
+        Row ids of the block.
+    matrix:
+        The block's (unchanged) column matrix, ``(n_rows, n_cols)`` uint8.
+    anchor_slot:
+        Per block column: the ancestor *insertion slot* it belongs to.
+        Slot ``s`` means "between ancestor positions ``s-1`` and ``s``";
+        a column matched to ancestor position ``g`` records slot ``g``
+        with ``anchor_match=True``.
+    anchor_match:
+        Per block column: True when anchored to the ancestor position
+        ``anchor_slot`` itself, False for an insertion in front of it.
+    anchor_ordinal:
+        For insertion columns, the 0-based index within their run.
+    ancestor_length:
+        Number of positions of the global ancestor.
+    score:
+        Profile-profile score of the tweak alignment.
+    """
+
+    ids: List[str]
+    matrix: np.ndarray
+    anchor_slot: np.ndarray
+    anchor_match: np.ndarray
+    anchor_ordinal: np.ndarray
+    ancestor_length: int
+    score: float
+
+    @property
+    def n_rows(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.matrix.shape[1]
+
+    def insert_counts(self) -> np.ndarray:
+        """Number of insertion columns per slot, shape (ancestor_len+1,)."""
+        counts = np.zeros(self.ancestor_length + 1, dtype=np.int64)
+        ins = ~self.anchor_match
+        if ins.any():
+            np.add.at(counts, self.anchor_slot[ins], 1)
+        return counts
+
+
+def tweak_against_ancestor(
+    local_aln: Alignment,
+    ancestor: Sequence,
+    scoring: ProfileAlignConfig | None = None,
+) -> TweakedBlock:
+    """Anchor a bucket alignment to the global ancestor.
+
+    The bucket's columns are preserved verbatim (the constraint); only
+    their placement relative to the ancestor is optimised, by one
+    profile-profile DP of the bucket profile against the single-sequence
+    ancestor profile.
+    """
+    scoring = scoring or ProfileAlignConfig()
+    if local_aln.n_rows == 0:
+        raise ValueError("cannot tweak an empty block")
+    px = Profile(local_aln)
+    py = Profile.from_sequence(ancestor)
+    S = profile_score_matrix(px, py, scoring)
+    open_x, ext_x = scoring.gap_vectors(px)
+    open_y, ext_y = scoring.gap_vectors(py)
+    res = affine_align(
+        S,
+        open_x,
+        ext_x,
+        gap_open_y=open_y,
+        gap_extend_y=ext_y,
+        terminal_factor=scoring.gaps.terminal_factor,
+    )
+
+    n_cols = local_aln.n_columns
+    slot = np.empty(n_cols, dtype=np.int64)
+    match = np.zeros(n_cols, dtype=bool)
+    ordinal = np.zeros(n_cols, dtype=np.int64)
+    next_ancestor = 0  # ancestor positions consumed so far
+    run = 0
+    for x, y in zip(res.x_map, res.y_map):
+        if x >= 0 and y >= 0:
+            slot[x] = y
+            match[x] = True
+            next_ancestor = y + 1
+            run = 0
+        elif x >= 0:
+            slot[x] = next_ancestor
+            match[x] = False
+            ordinal[x] = run
+            run += 1
+        else:  # ancestor position unmatched by this block
+            next_ancestor = y + 1
+            run = 0
+    return TweakedBlock(
+        ids=list(local_aln.ids),
+        matrix=local_aln.matrix,
+        anchor_slot=slot,
+        anchor_match=match,
+        anchor_ordinal=ordinal,
+        ancestor_length=len(ancestor),
+        score=res.score,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic data generation.
+
+- :mod:`repro.datagen.rose` -- Rose-style sequence-family evolution along a
+  random tree (substitutions with per-site rate variation + indels), with
+  exact true-alignment tracking; the paper's synthetic workloads (section
+  4) are generated this way with ``relatedness=800``.
+- :mod:`repro.datagen.genome` -- a synthetic archaeal-like proteome
+  standing in for the *Methanosarcina acetivorans* dataset.
+- :mod:`repro.datagen.prefab` -- a PREFAB-like quality benchmark: many
+  small sets of varying divergence with trusted reference alignments.
+"""
+
+from repro.datagen.rose import RoseParams, SequenceFamily, generate_family
+from repro.datagen.genome import SyntheticGenome
+from repro.datagen.prefab import PrefabCase, make_prefab_like
+from repro.datagen.balibase import BalibaseCase, CATEGORIES, make_balibase_like
+
+__all__ = [
+    "BalibaseCase",
+    "CATEGORIES",
+    "PrefabCase",
+    "RoseParams",
+    "SequenceFamily",
+    "SyntheticGenome",
+    "generate_family",
+    "make_balibase_like",
+    "make_prefab_like",
+]

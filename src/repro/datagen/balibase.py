@@ -1,0 +1,205 @@
+"""A BAliBASE-like categorised quality benchmark.
+
+The paper's section 5: *"Currently we are working on accessing the
+quality of the method using other standard benchmarks such as BAliBASE,
+SMART and SABmark."*  This module implements that future work with
+synthetic analogues of BAliBASE's reference categories, each stressing a
+distinct failure mode of alignment heuristics:
+
+=====  ==========================================================
+RV11   equidistant sequences, low identity (the hard core)
+RV12   equidistant sequences, medium identity
+RV20   a tight family plus highly divergent "orphan" sequences
+RV30   several divergent subfamilies (exactly Sample-Align-D's
+       bucketed regime)
+RV40   long terminal extensions on a subset of members
+RV50   large internal insertions in a subset of members
+=====  ==========================================================
+
+Every case carries its evolutionary reference alignment; scoring uses
+the same Q/TC machinery as the PREFAB-like benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence as TSequence
+
+import numpy as np
+
+from repro.datagen.rose import BACKGROUND, RoseParams, generate_family
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import PROTEIN
+from repro.seq.sequence import Sequence, SequenceSet
+
+__all__ = ["BalibaseCase", "CATEGORIES", "make_balibase_like"]
+
+#: The implemented category codes.
+CATEGORIES = ("RV11", "RV12", "RV20", "RV30", "RV40", "RV50")
+
+
+@dataclass
+class BalibaseCase:
+    """One categorised benchmark case with its reference alignment."""
+
+    name: str
+    category: str
+    sequences: SequenceSet
+    reference: Alignment
+
+    def __repr__(self) -> str:
+        return (
+            f"BalibaseCase({self.name!r}, {self.category}, "
+            f"n={len(self.sequences)})"
+        )
+
+
+def _family(n, length, relatedness, seed, prefix) -> tuple:
+    fam = generate_family(
+        n_sequences=n, mean_length=length, relatedness=relatedness,
+        seed=seed, id_prefix=prefix,
+    )
+    return fam.sequences, fam.reference
+
+
+def _pad_alignment_columns(
+    reference: Alignment, row_extras: Dict[str, tuple]
+) -> Alignment:
+    """Extend reference rows with terminal extension columns.
+
+    ``row_extras[rid] = (prefix, suffix)`` residue strings; extension
+    residues occupy fresh columns (gaps in every other row), preserving
+    the evolutionary reference semantics (extensions are unalignable).
+    """
+    n_pre = max((len(p) for p, _s in row_extras.values()), default=0)
+    n_suf = max((len(s) for _p, s in row_extras.values()), default=0)
+    gap = reference.alphabet.gap_code
+    rows = []
+    for rid in reference.ids:
+        pre, suf = row_extras.get(rid, ("", ""))
+        left = np.full(n_pre, gap, dtype=np.uint8)
+        if pre:
+            left[n_pre - len(pre):] = reference.alphabet.encode(pre)
+        right = np.full(n_suf, gap, dtype=np.uint8)
+        if suf:
+            right[: len(suf)] = reference.alphabet.encode(suf)
+        rows.append(np.concatenate([left, reference.row(rid), right]))
+    return Alignment(reference.ids, np.vstack(rows), reference.alphabet)
+
+
+def _insert_block(
+    reference: Alignment, rid: str, position_col: int, insert: str
+) -> Alignment:
+    """Insert a private residue block into one row (new gap columns for
+    everyone else)."""
+    gap = reference.alphabet.gap_code
+    block = np.full((reference.n_rows, len(insert)), gap, dtype=np.uint8)
+    row_idx = reference.ids.index(rid)
+    block[row_idx] = reference.alphabet.encode(insert)
+    mat = np.concatenate(
+        [
+            reference.matrix[:, :position_col],
+            block,
+            reference.matrix[:, position_col:],
+        ],
+        axis=1,
+    )
+    return Alignment(reference.ids, mat, reference.alphabet)
+
+
+def _make_case(category: str, index: int, rng: np.random.Generator) -> BalibaseCase:
+    seed = int(rng.integers(2**31))
+    prefix = f"{category.lower()}_{index:02d}_"
+    if category == "RV11":
+        seqs, ref = _family(10, 110, 900, seed, prefix)
+    elif category == "RV12":
+        seqs, ref = _family(10, 110, 450, seed, prefix)
+    elif category == "RV20":
+        # Tight family + two orphans evolved much further from the root.
+        core, ref = _family(10, 110, 250, seed, prefix)
+        orphan_fam = generate_family(
+            n_sequences=12, mean_length=110, relatedness=1100,
+            seed=seed, id_prefix=prefix,
+        )
+        # Reuse the deep generation: take the two deepest leaves as
+        # orphans, the rest as core (same homology column space).
+        depths = orphan_fam.leaf_depths
+        order = np.argsort(depths)
+        keep = list(order[:10]) + list(order[-2:])
+        ids = [orphan_fam.sequences[int(i)].id for i in keep]
+        ref = orphan_fam.reference.select_rows(ids).drop_all_gap_columns()
+        seqs = SequenceSet([orphan_fam.sequences[int(i)] for i in keep])
+    elif category == "RV30":
+        # Divergent subfamilies: two families joined by a deep ancestor
+        # (generated as one family with large inter-subtree distance).
+        fam = generate_family(
+            n_sequences=12, mean_length=110, relatedness=800,
+            seed=seed, id_prefix=prefix,
+        )
+        seqs, ref = fam.sequences, fam.reference
+    elif category == "RV40":
+        seqs0, ref = _family(10, 90, 350, seed, prefix)
+        sub_rng = np.random.default_rng(seed + 1)
+        extras: Dict[str, tuple] = {}
+        new_seqs: List[Sequence] = []
+        for k, s in enumerate(seqs0):
+            if k % 3 == 0:
+                ext_len = int(sub_rng.integers(20, 45))
+                ext = "".join(
+                    PROTEIN.symbols[c]
+                    for c in sub_rng.choice(21, ext_len, p=BACKGROUND)
+                )
+                if k % 2 == 0:
+                    extras[s.id] = (ext, "")
+                    new_seqs.append(Sequence(s.id, ext + s.residues))
+                else:
+                    extras[s.id] = ("", ext)
+                    new_seqs.append(Sequence(s.id, s.residues + ext))
+            else:
+                new_seqs.append(s)
+        ref = _pad_alignment_columns(ref, extras)
+        seqs = SequenceSet(new_seqs)
+    elif category == "RV50":
+        seqs0, ref = _family(10, 90, 350, seed, prefix)
+        sub_rng = np.random.default_rng(seed + 2)
+        for k, rid in enumerate(list(ref.ids)):
+            if k % 4 == 0:
+                ins_len = int(sub_rng.integers(15, 35))
+                ins = "".join(
+                    PROTEIN.symbols[c]
+                    for c in sub_rng.choice(21, ins_len, p=BACKGROUND)
+                )
+                pos = int(sub_rng.integers(10, ref.n_columns - 10))
+                ref = _insert_block(ref, rid, pos, ins)
+        seqs = ref.ungapped()
+    else:
+        raise ValueError(f"unknown category {category!r}")
+
+    # Present sequences in shuffled order.
+    order = rng.permutation(len(seqs))
+    shuffled = SequenceSet([seqs[int(i)] for i in order])
+    return BalibaseCase(
+        name=f"{category}_{index:02d}",
+        category=category,
+        sequences=shuffled,
+        reference=ref,
+    )
+
+
+def make_balibase_like(
+    cases_per_category: int = 2,
+    categories: TSequence[str] = CATEGORIES,
+    seed: int = 0,
+) -> List[BalibaseCase]:
+    """Build the categorised benchmark (reference alignments included)."""
+    bad = [c for c in categories if c not in CATEGORIES]
+    if bad:
+        raise ValueError(f"unknown categories: {bad}")
+    if cases_per_category < 1:
+        raise ValueError("cases_per_category must be >= 1")
+    rng = np.random.default_rng(seed)
+    out: List[BalibaseCase] = []
+    for cat in categories:
+        for i in range(cases_per_category):
+            out.append(_make_case(cat, i, rng))
+    return out

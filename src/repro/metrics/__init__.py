@@ -1,0 +1,36 @@
+"""Quality metrics and distribution statistics.
+
+- :mod:`repro.metrics.qscore` -- Q (PREFAB accuracy), TC (total column)
+  and reference-SP scores of a test alignment against a reference.
+- :mod:`repro.metrics.stats` -- distribution summaries and deviation
+  statistics for the k-mer rank experiments (Table 1, Figs. 1 and 3),
+  plus ASCII histogram rendering used by the benchmark harness.
+"""
+
+from repro.metrics.qscore import qscore, qscore_pair, total_column_score
+from repro.metrics.comparison import (
+    ComparisonReport,
+    MethodResult,
+    compare_methods,
+)
+from repro.metrics.stats import (
+    DistributionSummary,
+    ascii_histogram,
+    deviation_stats,
+    histogram_series,
+    summarize,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "DistributionSummary",
+    "MethodResult",
+    "ascii_histogram",
+    "compare_methods",
+    "deviation_stats",
+    "histogram_series",
+    "qscore",
+    "qscore_pair",
+    "summarize",
+    "total_column_score",
+]

@@ -1,0 +1,128 @@
+"""Alignment accuracy metrics against a trusted reference.
+
+Q (the PREFAB measure the paper's Table 2 reports) is the number of
+correctly aligned residue pairs divided by the number of residue pairs in
+the reference alignment.  A residue pair (residue ``a`` of sequence x,
+residue ``b`` of sequence y) is *correctly aligned* when the test
+alignment also places ``a`` and ``b`` in one column.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as TSequence, Tuple
+
+import numpy as np
+
+from repro.seq.alignment import Alignment
+
+__all__ = ["qscore_pair", "qscore", "total_column_score"]
+
+
+def _column_maps(aln: Alignment, ids: TSequence[str]):
+    """Residue-index -> column-index maps for the requested rows."""
+    maps = {}
+    gap = aln.alphabet.gap_code
+    for rid in ids:
+        row = aln.row(rid)
+        maps[rid] = np.flatnonzero(row != gap)
+    return maps
+
+
+def qscore_pair(
+    test: Alignment, reference: Alignment, id_a: str, id_b: str
+) -> float:
+    """Q restricted to one sequence pair (the PREFAB protocol).
+
+    Both alignments must contain rows ``id_a`` and ``id_b``; the ungapped
+    sequences behind those rows must agree (checked).  Returns 1.0 when
+    the reference aligns no residue pairs (nothing to get wrong).
+    """
+    for aln in (test, reference):
+        if id_a not in aln.ids or id_b not in aln.ids:
+            raise KeyError(f"rows {id_a!r}/{id_b!r} missing from alignment")
+    tmap = _column_maps(test, [id_a, id_b])
+    rmap = _column_maps(reference, [id_a, id_b])
+    if len(tmap[id_a]) != len(rmap[id_a]) or len(tmap[id_b]) != len(rmap[id_b]):
+        raise ValueError(
+            "test and reference disagree on ungapped sequence lengths"
+        )
+
+    # Reference residue pairs: residues of a and b sharing a column.
+    ref_cols_a = np.full(reference.n_columns, -1, dtype=np.int64)
+    ref_cols_a[rmap[id_a]] = np.arange(len(rmap[id_a]))
+    ref_cols_b = np.full(reference.n_columns, -1, dtype=np.int64)
+    ref_cols_b[rmap[id_b]] = np.arange(len(rmap[id_b]))
+    shared = (ref_cols_a >= 0) & (ref_cols_b >= 0)
+    a_res = ref_cols_a[shared]
+    b_res = ref_cols_b[shared]
+    if a_res.size == 0:
+        return 1.0
+
+    # Correct iff the test alignment puts those residues in one column.
+    correct = tmap[id_a][a_res] == tmap[id_b][b_res]
+    return float(np.mean(correct))
+
+
+def qscore(test: Alignment, reference: Alignment) -> float:
+    """Q over *all* row pairs of the reference (sum of pairs accuracy).
+
+    Pools residue pairs across all row pairs (pairs / pairs, not a mean of
+    per-pair means), matching the qscore tool's SP measure.
+    """
+    ids = [rid for rid in reference.ids if rid in set(test.ids)]
+    if len(ids) < 2:
+        raise ValueError("need at least two shared rows to score")
+    tmap = _column_maps(test, ids)
+    rmap = _column_maps(reference, ids)
+
+    ncols = reference.n_columns
+    res_index = {}
+    for rid in ids:
+        col = np.full(ncols, -1, dtype=np.int64)
+        col[rmap[rid]] = np.arange(len(rmap[rid]))
+        res_index[rid] = col
+
+    total = 0
+    correct = 0
+    for i in range(len(ids)):
+        for j in range(i + 1, len(ids)):
+            a, b = ids[i], ids[j]
+            shared = (res_index[a] >= 0) & (res_index[b] >= 0)
+            ar = res_index[a][shared]
+            br = res_index[b][shared]
+            total += ar.size
+            if ar.size:
+                correct += int((tmap[a][ar] == tmap[b][br]).sum())
+    return 1.0 if total == 0 else correct / total
+
+
+def total_column_score(test: Alignment, reference: Alignment) -> float:
+    """TC: fraction of reference columns reproduced exactly.
+
+    A reference column counts when every one of its residues (over the
+    shared rows) sits in a single test column.  Columns that are all-gap
+    across the shared rows are skipped.
+    """
+    ids = [rid for rid in reference.ids if rid in set(test.ids)]
+    if len(ids) < 2:
+        raise ValueError("need at least two shared rows to score")
+    tmap = _column_maps(test, ids)
+    rmap = _column_maps(reference, ids)
+
+    ncols = reference.n_columns
+    # For each reference column and row: the test column of that residue,
+    # or -1 when the row has a gap there.
+    test_cols = np.full((len(ids), ncols), -1, dtype=np.int64)
+    for r, rid in enumerate(ids):
+        test_cols[r, rmap[rid]] = tmap[rid]
+
+    present = test_cols >= 0
+    n_present = present.sum(axis=0)
+    consider = n_present >= 2
+    if not consider.any():
+        return 1.0
+    # A column is correct when all present entries are equal.
+    masked = np.where(present, test_cols, np.iinfo(np.int64).max)
+    col_min = masked.min(axis=0)
+    agree = ((test_cols == col_min[None, :]) | ~present).all(axis=0)
+    return float(np.mean(agree[consider]))

@@ -1,0 +1,101 @@
+"""Distribution statistics and ASCII rendering for the rank experiments.
+
+Table 1 of the paper summarises the k-mer rank computed on a "globalized"
+(sample-based) system against the "centralized" (all-vs-all) reference:
+per-estimator max/min/average, plus the *variance with respect to the
+centralized ranks* -- the mean squared deviation between the two rank
+vectors -- and its square root.  :func:`deviation_stats` reproduces that
+table; :func:`histogram_series`/:func:`ascii_histogram` regenerate the
+distribution figures (Figs. 1 and 3) in terminal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as TSequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "deviation_stats",
+    "histogram_series",
+    "ascii_histogram",
+]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of a 1-D sample."""
+
+    n: int
+    minimum: float
+    maximum: float
+    mean: float
+    variance: float
+    std: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.n}  min={self.minimum:.5f}  max={self.maximum:.5f}  "
+            f"mean={self.mean:.5f}  var={self.variance:.5f}  std={self.std:.5f}"
+        )
+
+
+def summarize(values: np.ndarray) -> DistributionSummary:
+    """Summary statistics of a sample (population variance)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    var = float(v.var())
+    return DistributionSummary(
+        n=int(v.size),
+        minimum=float(v.min()),
+        maximum=float(v.max()),
+        mean=float(v.mean()),
+        variance=var,
+        std=float(np.sqrt(var)),
+    )
+
+
+def deviation_stats(
+    globalized: np.ndarray, centralized: np.ndarray
+) -> Tuple[float, float]:
+    """Table 1's "variance/std w.r.t. centralized".
+
+    The mean squared deviation of the globalized ranks around the
+    centralized ones, and its square root.
+    """
+    g = np.asarray(globalized, dtype=np.float64)
+    c = np.asarray(centralized, dtype=np.float64)
+    if g.shape != c.shape or g.size == 0:
+        raise ValueError("rank vectors must be non-empty and equal-shaped")
+    var = float(np.mean((g - c) ** 2))
+    return var, float(np.sqrt(var))
+
+
+def histogram_series(
+    values: np.ndarray, bins: int = 30, range_: Tuple[float, float] | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram counts + bin centers (a printable "figure series")."""
+    counts, edges = np.histogram(np.asarray(values, float), bins=bins, range=range_)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return counts, centers
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 24,
+    width: int = 50,
+    label: str = "",
+    range_: Tuple[float, float] | None = None,
+) -> str:
+    """Terminal rendering of a histogram (the bench harness's 'figures')."""
+    counts, centers = histogram_series(values, bins=bins, range_=range_)
+    peak = max(int(counts.max()), 1)
+    lines = [f"-- {label} (n={len(np.asarray(values).ravel())}) --"] if label else []
+    for c, x in zip(counts, centers):
+        bar = "#" * max(int(round(width * c / peak)), 1 if c else 0)
+        lines.append(f"{x:9.3f} | {bar} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Common interface of the sequential MSA systems."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence as TSequence
+
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence, SequenceSet
+
+__all__ = ["SequentialMsaAligner"]
+
+
+class SequentialMsaAligner(abc.ABC):
+    """A sequential multiple-sequence aligner.
+
+    Implementations must be deterministic for a fixed configuration and
+    must return an alignment whose rows, once ungapped, reproduce the
+    input sequences exactly and in input order.
+    """
+
+    #: Short registry name, overridden by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def align(self, seqs: TSequence[Sequence]) -> Alignment:
+        """Align ``seqs`` into a single MSA (rows in input order)."""
+
+    def __call__(self, seqs: TSequence[Sequence]) -> Alignment:
+        return self.align(seqs)
+
+    def _validate_input(self, seqs: TSequence[Sequence]) -> SequenceSet:
+        sset = seqs if isinstance(seqs, SequenceSet) else SequenceSet(seqs)
+        if len(sset) == 0:
+            raise ValueError(f"{self.name}: no sequences to align")
+        alphabets = {s.alphabet for s in sset}
+        if len(alphabets) != 1:
+            raise ValueError(f"{self.name}: sequences mix alphabets")
+        return sset
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,58 @@
+"""Center-star alignment (Gusfield's classic 2-approximation).
+
+The cheapest multiple aligner in the suite: pick the sequence with the
+smallest summed distance to all others, then fold every other sequence
+into the growing profile in order of increasing distance to the center.
+Used as a fast local aligner option and as a quality floor in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence as TSequence
+
+import numpy as np
+
+from repro.align.profile import Profile
+from repro.align.profile_align import ProfileAlignConfig, align_profiles
+from repro.msa.base import SequentialMsaAligner
+from repro.msa.distances import ktuple_distance_matrix
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+__all__ = ["CenterStar"]
+
+
+@dataclass
+class CenterStar(SequentialMsaAligner):
+    """Center-star progressive aligner.
+
+    Parameters
+    ----------
+    scoring:
+        Profile scoring configuration.
+    kmer_k:
+        k of the distance estimate used to pick the center.
+    """
+
+    scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
+    kmer_k: int = 4
+
+    name = "center-star"
+
+    def align(self, seqs: TSequence[Sequence]) -> Alignment:
+        sset = self._validate_input(seqs)
+        if len(sset) == 1:
+            return Alignment.from_single(sset[0])
+        ids = sset.ids
+        d = ktuple_distance_matrix(list(sset), k=self.kmer_k)
+        center = int(d.sum(axis=1).argmin())
+        order = np.argsort(d[center], kind="stable")
+        profile = Profile.from_sequence(sset[center])
+        for idx in order:
+            if int(idx) == center:
+                continue
+            profile, _res = align_profiles(
+                profile, Profile.from_sequence(sset[int(idx)]), self.scoring
+            )
+        return profile.alignment.select_rows(ids)

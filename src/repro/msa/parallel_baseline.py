@@ -1,0 +1,135 @@
+"""The "parallelize an existing tool" baseline the paper argues against.
+
+The paper's introduction surveys prior parallel MSA work (parallel
+CLUSTALW, HT Clustal, MULTICLUSTAL): *"the first two stages, i.e.
+pair-wise alignment and guide tree, are parallelized, and the third
+stage, final alignment, is mostly sequential, thus limiting the amount of
+the achievable speedup"*.  :class:`ParallelClustalW` reproduces that
+architecture faithfully on the virtual cluster:
+
+- stage 1 -- the O(N^2) pairwise distance matrix is computed in parallel
+  (cyclically partitioned row pairs, allgathered);
+- stage 2 -- the guide tree is built redundantly on every rank (cheap);
+- stage 3 -- the progressive alignment itself runs **only on the root**,
+  exactly like the surveyed systems.
+
+Amdahl's law then caps the speedup at ``T_total / T_stage3`` no matter
+how many processors join, which is the quantitative content of the
+paper's motivation; ``benchmarks/bench_baseline_comparison.py`` measures
+it against Sample-Align-D's full domain decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence as TSequence
+
+import numpy as np
+
+from repro.align.guide_tree import neighbor_joining
+from repro.align.profile_align import ProfileAlignConfig
+from repro.align.progressive import progressive_align
+from repro.msa.clustalw import clustal_sequence_weights
+from repro.msa.distances import ktuple_distance_matrix
+from repro.kmer.counting import KmerCounter
+from repro.kmer.distance import kmer_match_fraction_matrix
+from repro.parcomp.comm import VirtualComm
+from repro.parcomp.cost import CostModel
+from repro.parcomp.launcher import SpmdResult, run_spmd
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence, SequenceSet
+
+__all__ = ["ParallelClustalW", "ParallelBaselineResult"]
+
+
+@dataclass
+class ParallelBaselineResult:
+    """Outcome of a ParallelClustalW run (alignment + timing ledger)."""
+
+    alignment: Alignment
+    n_procs: int
+    ledger: object  # TimingLedger
+
+    @property
+    def modeled_time(self) -> float:
+        return self.ledger.modeled_time()
+
+
+def _distance_rows_spmd(
+    comm: VirtualComm, seqs: TSequence[Sequence], k: int
+):
+    """Stage 1: each rank computes a cyclic slice of the distance rows."""
+    n = len(seqs)
+    counter = KmerCounter(k=k)
+    mine = list(range(comm.rank, n, comm.size))
+    if mine:
+        frac = kmer_match_fraction_matrix(
+            [seqs[i] for i in mine], list(seqs), counter
+        )
+        rows = 1.0 - frac
+    else:
+        rows = np.zeros((0, n))
+    gathered = comm.allgather((mine, rows))
+
+    d = np.zeros((n, n))
+    for idx, block in gathered:
+        if len(idx):
+            d[np.asarray(idx, dtype=np.int64)] = block
+    np.fill_diagonal(d, 0.0)
+    d = 0.5 * (d + d.T)  # symmetrise fp noise from split computation
+    return d
+
+
+@dataclass
+class ParallelClustalW:
+    """Stage-parallel CLUSTALW (distances parallel, alignment sequential).
+
+    Parameters
+    ----------
+    scoring:
+        Profile scoring of the (sequential) progressive stage.
+    kmer_k:
+        k of the distance stage.
+    """
+
+    scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
+    kmer_k: int = 4
+
+    name = "parallel-clustalw"
+
+    def align(
+        self,
+        seqs: TSequence[Sequence],
+        n_procs: int = 4,
+        cost_model: Optional[CostModel] = None,
+    ) -> ParallelBaselineResult:
+        """Run the stage-parallel pipeline on a virtual cluster."""
+        sset = seqs if isinstance(seqs, SequenceSet) else SequenceSet(seqs)
+        if len(sset) == 0:
+            raise ValueError("no sequences to align")
+        if len(sset) == 1:
+            spmd = run_spmd(n_procs, lambda comm: None, cost_model=cost_model)
+            return ParallelBaselineResult(
+                Alignment.from_single(sset[0]), n_procs, spmd.ledger
+            )
+        seq_list = list(sset)
+        scoring = self.scoring
+        k = self.kmer_k
+
+        def program(comm: VirtualComm):
+            # Stage 1 (parallel): distance matrix.
+            d = _distance_rows_spmd(comm, seq_list, k)
+            # Stage 2 (replicated, cheap): guide tree + weights.
+            tree = neighbor_joining(d, [s.id for s in seq_list])
+            weights = clustal_sequence_weights(tree)
+            comm.barrier()
+            # Stage 3 (sequential!): progressive alignment on the root only.
+            if comm.rank == 0:
+                return progressive_align(seq_list, tree, scoring, weights)
+            return None
+
+        spmd = run_spmd(n_procs, program, cost_model=cost_model)
+        aln = spmd.results[0]
+        return ParallelBaselineResult(
+            aln.select_rows(sset.ids), n_procs, spmd.ledger
+        )

@@ -1,0 +1,70 @@
+"""Name-based registry of the sequential MSA systems.
+
+The registry is how Sample-Align-D's configuration selects its local
+aligner ("align sequences in each processor using any sequential multiple
+alignment system") and how the Table-2 quality bench iterates over the
+paper's comparators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.msa.base import SequentialMsaAligner
+from repro.msa.centerstar import CenterStar
+from repro.msa.clustalw import ClustalWLike
+from repro.msa.mafft import MafftLike
+from repro.msa.muscle import MuscleLike
+from repro.msa.tcoffee import TCoffeeLike
+
+
+def _probcons(**kw) -> SequentialMsaAligner:
+    """Deferred import: the pair-HMM stack loads only when requested."""
+    from repro.msa.probcons import ProbConsLike
+
+    return ProbConsLike(**kw)
+
+__all__ = ["available_aligners", "get_aligner", "register_aligner"]
+
+_FACTORIES: Dict[str, Callable[..., SequentialMsaAligner]] = {
+    # MUSCLE family (paper Table 2: MUSCLE and MUSCLE-p).
+    "muscle": lambda **kw: MuscleLike(**kw),
+    "muscle-p": lambda **kw: MuscleLike(refine=False, **kw),
+    "muscle-draft": lambda **kw: MuscleLike(two_stage=False, refine=False, **kw),
+    # CLUSTALW.
+    "clustalw": lambda **kw: ClustalWLike(**kw),
+    "clustalw-full": lambda **kw: ClustalWLike(distance_mode="full", **kw),
+    # T-Coffee.
+    "tcoffee": lambda **kw: TCoffeeLike(**kw),
+    # ProbCons (probabilistic consistency; the paper's ref. [29]).
+    "probcons": lambda **kw: _probcons(**kw),
+    # MAFFT scripts cited by the paper.
+    "mafft-nwnsi": lambda **kw: MafftLike(mode="nwnsi", **kw),
+    "mafft-fftnsi": lambda **kw: MafftLike(mode="fftnsi", **kw),
+    # Cheap baseline.
+    "center-star": lambda **kw: CenterStar(**kw),
+}
+
+
+def available_aligners() -> List[str]:
+    """Sorted registry names."""
+    return sorted(_FACTORIES)
+
+
+def get_aligner(name: str, **kwargs) -> SequentialMsaAligner:
+    """Instantiate a sequential aligner by registry name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown aligner {name!r}; available: {available_aligners()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_aligner(name: str, factory: Callable[..., SequentialMsaAligner]) -> None:
+    """Register a custom aligner factory (plug-in point for users)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"aligner {name!r} already registered")
+    _FACTORIES[key] = factory

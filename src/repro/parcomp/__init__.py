@@ -1,0 +1,36 @@
+"""Virtual message-passing cluster.
+
+The paper runs on a 16-node Beowulf cluster via MPI.  This subpackage
+provides the substitution documented in DESIGN.md: ranks execute as
+threads over an in-process fabric exposing an mpi4py-style API
+(``send/recv/bcast/scatter/gather/allgather/alltoall/barrier/reduce``),
+every payload is metered in bytes, and a latency/bandwidth cost model
+drives per-rank *logical clocks* so that a run yields both real wall time
+and a modeled cluster time (max over ranks of compute + modeled
+communication, the coarse-grained model the paper itself uses in its
+section-3 analysis).
+
+- :mod:`repro.parcomp.cost` -- cost model, payload sizing, event ledger.
+- :mod:`repro.parcomp.comm` -- the fabric and :class:`VirtualComm`.
+- :mod:`repro.parcomp.launcher` -- the threaded SPMD launcher.
+"""
+
+from repro.parcomp.cost import CommEvent, CostModel, TimingLedger, estimate_nbytes
+from repro.parcomp.comm import Fabric, SpmdAbort, VirtualComm
+from repro.parcomp.launcher import SpmdResult, run_spmd
+from repro.parcomp.trace import render_timeline, render_traffic, traffic_matrix
+
+__all__ = [
+    "CommEvent",
+    "CostModel",
+    "Fabric",
+    "SpmdAbort",
+    "SpmdResult",
+    "TimingLedger",
+    "VirtualComm",
+    "estimate_nbytes",
+    "render_timeline",
+    "render_traffic",
+    "run_spmd",
+    "traffic_matrix",
+]

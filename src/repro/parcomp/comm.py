@@ -1,0 +1,287 @@
+"""The message fabric and the mpi4py-style :class:`VirtualComm`.
+
+Point-to-point semantics: ``send`` is buffered (never blocks); ``recv``
+blocks until the matching ``(source, tag)`` message arrives.  Collectives
+are built *on top of* point-to-point with deterministic schedules
+(binomial trees for bcast/reduce, linear fan-in/out at the root for
+scatter/gather, pairwise exchange for alltoall), so the byte meter and the
+logical clocks see the true message pattern a real MPI implementation
+would produce, message by message.
+
+Logical clocks: each rank's clock advances by its measured thread CPU
+time between communication calls (``time.thread_time`` -- unaffected by
+the other rank threads sharing the host core), by ``alpha + beta*nbytes``
+per sent message, and synchronises with the sender's clock on receive.
+The final clocks give the modeled cluster time of the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parcomp.cost import CommEvent, CostModel, TimingLedger, estimate_nbytes
+
+__all__ = ["Fabric", "VirtualComm", "SpmdAbort"]
+
+_POLL_S = 0.05
+
+
+class SpmdAbort(RuntimeError):
+    """Raised in surviving ranks when another rank failed."""
+
+
+class Fabric:
+    """Shared state of one virtual-cluster run."""
+
+    def __init__(self, n_ranks: int, cost_model: CostModel | None = None) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.cost_model = cost_model or CostModel()
+        self.ledger = TimingLedger(n_ranks, self.cost_model)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # mailbox[(dst, src, tag)] -> deque of (payload, ready_time)
+        self._mail: Dict[Tuple[int, int, int], deque] = {}
+        self._failed: Optional[BaseException] = None
+        # Barrier bookkeeping (generation counting).
+        self._barrier_count = 0
+        self._barrier_gen = 0
+        self._barrier_acc = 0.0
+        self._barrier_results: Dict[int, float] = {}
+
+    # -- failure propagation ----------------------------------------------------
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cond:
+            if self._failed is None:
+                self._failed = exc
+            self._cond.notify_all()
+
+    def check_failed(self) -> None:
+        if self._failed is not None:
+            raise SpmdAbort(f"another rank failed: {self._failed!r}")
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def post(self, src: int, dst: int, tag: int, payload: Any,
+             ready_time: float, nbytes: int, kind: str) -> None:
+        with self._cond:
+            self._mail.setdefault((dst, src, tag), deque()).append(
+                (payload, ready_time)
+            )
+            self.ledger.events.append(
+                CommEvent(kind, src, dst, nbytes, tag, send_clock=ready_time)
+            )
+            self._cond.notify_all()
+
+    def collect(self, dst: int, src: int, tag: int) -> Tuple[Any, float]:
+        key = (dst, src, tag)
+        with self._cond:
+            while True:
+                if self._failed is not None:
+                    raise SpmdAbort(f"another rank failed: {self._failed!r}")
+                box = self._mail.get(key)
+                if box:
+                    return box.popleft()
+                self._cond.wait(timeout=_POLL_S)
+
+    # -- barrier ----------------------------------------------------------------------
+
+    def barrier(self, clock: float) -> float:
+        """Synchronise all ranks; returns the max clock across them."""
+        with self._cond:
+            gen = self._barrier_gen
+            self._barrier_count += 1
+            self._barrier_acc = max(self._barrier_acc, clock)
+            if self._barrier_count == self.n_ranks:
+                self._barrier_results[gen] = self._barrier_acc
+                self._barrier_count = 0
+                self._barrier_acc = 0.0
+                self._barrier_gen += 1
+                self._cond.notify_all()
+            else:
+                while self._barrier_gen == gen:
+                    if self._failed is not None:
+                        raise SpmdAbort(
+                            f"another rank failed: {self._failed!r}"
+                        )
+                    self._cond.wait(timeout=_POLL_S)
+            return self._barrier_results[gen]
+
+
+class VirtualComm:
+    """Per-rank communicator (mpi4py-flavoured API subset).
+
+    Lower-case methods move arbitrary Python payloads, like mpi4py's
+    pickle path; there is no upper-case buffer API because the fabric is
+    in-process (payloads move by reference, only their *size* is modeled).
+    """
+
+    def __init__(self, fabric: Fabric, rank: int) -> None:
+        self.fabric = fabric
+        self.rank = rank
+        self._clock = 0.0
+        self._compute = 0.0
+        self._last_cpu = time.thread_time()
+
+    # -- mpi4py-style introspection ------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.fabric.n_ranks
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.fabric.n_ranks
+
+    # -- clock bookkeeping -----------------------------------------------------------
+
+    def _absorb_compute(self) -> None:
+        """Fold thread CPU time since the last comm call into the clock."""
+        now = time.thread_time()
+        dt = max(now - self._last_cpu, 0.0)
+        self._last_cpu = now
+        scaled = dt * self.fabric.cost_model.compute_scale
+        self._compute += scaled
+        self._clock += scaled
+
+    def charge_compute(self, seconds: float) -> None:
+        """Explicitly add modeled compute seconds to this rank's clock
+        (used by the perfmodel to inject calibrated kernel costs)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._compute += seconds
+        self._clock += seconds
+
+    def finalize(self) -> None:
+        """Flush outstanding compute and publish this rank's totals."""
+        self._absorb_compute()
+        self.fabric.ledger.compute[self.rank] = self._compute
+        self.fabric.ledger.clock[self.rank] = self._clock
+
+    # -- point-to-point --------------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0, _kind: str = "send") -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad destination rank {dest}")
+        self._absorb_compute()
+        nbytes = estimate_nbytes(obj)
+        self._clock += self.fabric.cost_model.message_cost(nbytes)
+        self.fabric.post(
+            self.rank, dest, tag, obj, self._clock, nbytes, _kind
+        )
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"bad source rank {source}")
+        self._absorb_compute()
+        payload, ready = self.fabric.collect(self.rank, source, tag)
+        self._clock = max(self._clock, ready)
+        return payload
+
+    # -- collectives -------------------------------------------------------------------
+
+    _TAG_COLL = 1 << 20  # tag space reserved for collectives
+
+    def barrier(self) -> None:
+        self._absorb_compute()
+        self._clock = self.fabric.barrier(self._clock)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast (log2(p) rounds, like real MPI)."""
+        size, rank = self.size, self.rank
+        if size == 1:
+            return obj
+        rel = (rank - root) % size
+        mask = 1
+        # Receive phase: find my parent.
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                obj = self.recv(parent, self._TAG_COLL + 1)
+                break
+            mask <<= 1
+        # Send phase: forward to children.
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < size:
+                child = (rel + mask + root) % size
+                self.send(obj, child, self._TAG_COLL + 1, _kind="bcast")
+            mask >>= 1
+        return obj
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Linear scatter from the root (root keeps its own slice)."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must pass one object per rank")
+            for r in range(self.size):
+                if r != root:
+                    self.send(objs[r], r, self._TAG_COLL + 2, _kind="scatter")
+            return objs[root]
+        return self.recv(root, self._TAG_COLL + 2)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Linear gather at the root; returns the list at root else None."""
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self.recv(r, self._TAG_COLL + 3)
+            return out
+        self.send(obj, root, self._TAG_COLL + 3, _kind="gather")
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather to rank 0 then broadcast (the metered message pattern)."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Pairwise-exchange personalised all-to-all."""
+        if len(objs) != self.size:
+            raise ValueError("need one payload per rank")
+        size, rank = self.size, self.rank
+        out: List[Any] = [None] * size
+        out[rank] = objs[rank]
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            self.send(objs[dst], dst, self._TAG_COLL + 4 + step, _kind="alltoall")
+            out[src] = self.recv(src, self._TAG_COLL + 4 + step)
+        return out
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any:
+        """Binomial-tree reduction with a user-supplied binary op.
+
+        ``op`` must be associative; evaluation order is deterministic.
+        Returns the reduced value at root, None elsewhere.
+        """
+        size, rank = self.size, self.rank
+        rel = (rank - root) % size
+        value = obj
+        mask = 1
+        tag = self._TAG_COLL + 5
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                self.send(value, parent, tag, _kind="reduce")
+                return None
+            partner = rel + mask
+            if partner < size:
+                other = self.recv((partner + root) % size, tag)
+                value = op(value, other)
+            mask <<= 1
+        return value
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return self.bcast(self.reduce(obj, op, root=0), root=0)

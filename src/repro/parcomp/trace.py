@@ -1,0 +1,73 @@
+"""Text rendering of a virtual-cluster run: timelines and traffic.
+
+Observability for the modeled cluster: per-rank send timelines on the
+logical clock (a text Gantt chart) and a src x dst traffic matrix.
+Useful when judging where the pipeline's communication phases sit
+relative to the compute -- the shape the paper's section-3 analysis
+reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.parcomp.cost import TimingLedger
+
+__all__ = ["render_timeline", "traffic_matrix", "render_traffic"]
+
+
+def render_timeline(
+    ledger: TimingLedger, width: int = 72, max_events: int = 400
+) -> str:
+    """ASCII Gantt of message sends on the logical clock.
+
+    One line per rank: ``.`` for idle/compute span, one letter per sent
+    message at its send-clock position (``s`` send, ``b`` bcast, ``g``
+    gather, ``a`` alltoall, ``r`` reduce, ``c`` scatter, ``*`` several).
+    The right edge is the run's modeled end time.
+    """
+    total = max(ledger.modeled_time(), 1e-12)
+    letters = {
+        "send": "s", "bcast": "b", "gather": "g", "alltoall": "a",
+        "reduce": "r", "scatter": "c",
+    }
+    rows = [["."] * width for _ in range(ledger.n_ranks)]
+    for e in ledger.events[:max_events]:
+        col = min(int(e.send_clock / total * (width - 1)), width - 1)
+        cell = rows[e.src][col]
+        mark = letters.get(e.kind, "?")
+        rows[e.src][col] = mark if cell == "." else "*"
+    lines = [
+        f"rank {r:>3} |{''.join(row)}| {ledger.clock[r]:.4f}s"
+        for r, row in enumerate(rows)
+    ]
+    header = (
+        f"timeline (0 .. {total:.4f}s modeled); "
+        "s=send b=bcast g=gather a=alltoall r=reduce c=scatter *=multiple"
+    )
+    return "\n".join([header] + lines)
+
+
+def traffic_matrix(ledger: TimingLedger) -> np.ndarray:
+    """Bytes sent from each rank to each rank, shape (p, p)."""
+    out = np.zeros((ledger.n_ranks, ledger.n_ranks), dtype=np.int64)
+    for e in ledger.events:
+        out[e.src, e.dst] += e.nbytes
+    return out
+
+
+def render_traffic(ledger: TimingLedger) -> str:
+    """Human-readable src x dst traffic table (bytes)."""
+    m = traffic_matrix(ledger)
+    p = ledger.n_ranks
+    w = max(len(str(int(m.max(initial=0)))), 6)
+    head = "src\\dst " + " ".join(f"{d:>{w}}" for d in range(p))
+    lines = [head]
+    for s in range(p):
+        lines.append(
+            f"{s:>7} " + " ".join(f"{int(m[s, d]):>{w}}" for d in range(p))
+        )
+    lines.append(f"total {int(m.sum())} bytes in {ledger.n_messages()} messages")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Calibrated analytic performance model of the cluster run.
+
+Regenerates the paper's cluster-scale timing figures (Figs. 4-6) at the
+paper's N (5000/10000/20000 sequences), which pure-Python kernels cannot
+execute for real on this host.  The model is the paper's own section-3
+cost structure with coefficients *calibrated against the repository's
+measured kernels*, so modeled and measured runs agree at small N (the
+test suite checks this) and the large-N curves inherit the honest shape.
+"""
+
+from repro.perfmodel.model import (
+    KernelCoefficients,
+    StageTimes,
+    calibrate_kernels,
+    predict_sequential_time,
+    predict_stage_times,
+    predict_total_time,
+    speedup_curve,
+)
+from repro.perfmodel.planning import (
+    breakeven_n,
+    comm_compute_crossover,
+    efficiency_curve,
+    optimal_processors,
+)
+
+__all__ = [
+    "KernelCoefficients",
+    "StageTimes",
+    "breakeven_n",
+    "calibrate_kernels",
+    "comm_compute_crossover",
+    "efficiency_curve",
+    "optimal_processors",
+    "predict_sequential_time",
+    "predict_stage_times",
+    "predict_total_time",
+    "speedup_curve",
+]

@@ -1,0 +1,274 @@
+"""The analytic model and its kernel calibration.
+
+Cost structure (paper section 3, ``w = N/p`` sequences of length ``L``
+per processor after redistribution):
+
+==========================  =============================================
+stage                       model term
+==========================  =============================================
+local k-mer rank            ``a_cnt * w * L + a_pair * w^2``
+globalized re-rank          ``a_cnt * w * L + a_pair * w * (k*p)``
+local sorts                 ``a_sort * w * log w`` (negligible)
+bucket alignment            ``d_dist * w^2 * L + d_prof * w * L^2``
+                            (+ ``d_quart * w^4`` in ``paper_mode``, the
+                            complexity the paper itself assumes for the
+                            sequential aligner)
+ancestor alignment (root)   ``d_dist * p^2 * L + d_prof * p * L^2``
+ancestor tweak              ``d_tweak * L^2``
+communication               alpha-beta on the section-3 message pattern:
+                            sample allgather ``O(k p L)``, pivot bcast
+                            ``O(p log p)``, redistribution ``O((N/p) L)``,
+                            ancestors ``O(p L + L log p)``, final gather
+                            ``O((N/p) L)``
+==========================  =============================================
+
+Coefficients come from :func:`calibrate_kernels`, which times this very
+repository's kernels on a small grid and least-squares fits each stage's
+dominant terms -- so the modeled small-N times track measured virtual
+cluster runs, and large-N predictions extrapolate the same constants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Sequence as TSequence
+
+import numpy as np
+
+from repro.parcomp.cost import CostModel
+
+__all__ = [
+    "KernelCoefficients",
+    "StageTimes",
+    "calibrate_kernels",
+    "predict_stage_times",
+    "predict_total_time",
+    "predict_sequential_time",
+    "speedup_curve",
+]
+
+
+@dataclass(frozen=True)
+class KernelCoefficients:
+    """Calibrated per-operation constants (seconds per unit work)."""
+
+    a_cnt: float = 2.0e-7    # k-mer counting, per residue
+    a_pair: float = 2.0e-7   # rank pair work, per sequence pair
+    d_dist: float = 3.0e-9   # distance stage, per pair-residue
+    d_prof: float = 2.0e-8   # profile DP, per cell per merge
+    d_tweak: float = 2.0e-8  # tweak DP, per cell
+    d_quart: float = 0.0     # the paper's w^4 term (0 unless paper_mode)
+
+    def with_quartic(self, w_ref: float, L_ref: float) -> "KernelCoefficients":
+        """A copy whose quartic term equals the quadratic work at a
+        reference size (so paper_mode curves stay in a sane range)."""
+        quad = self.d_dist * w_ref**2 * L_ref + self.d_prof * w_ref * L_ref**2
+        return KernelCoefficients(
+            self.a_cnt, self.a_pair, self.d_dist, self.d_prof, self.d_tweak,
+            d_quart=quad / max(w_ref**4, 1.0),
+        )
+
+
+@dataclass
+class StageTimes:
+    """Per-stage modeled seconds of one Sample-Align-D run."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute(self) -> float:
+        return sum(v for k, v in self.stages.items() if not k.startswith("comm"))
+
+    @property
+    def comm(self) -> float:
+        return sum(v for k, v in self.stages.items() if k.startswith("comm"))
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm
+
+    def table(self) -> str:
+        width = max(len(k) for k in self.stages)
+        lines = [f"{k:<{width}}  {v:12.6f} s" for k, v in self.stages.items()]
+        lines.append(f"{'TOTAL':<{width}}  {self.total:12.6f} s")
+        return "\n".join(lines)
+
+
+def _fit_through_origin(x: np.ndarray, y: np.ndarray) -> float:
+    """Least-squares slope of y ~ c*x (c >= tiny positive)."""
+    x = np.asarray(x, float)
+    y = np.asarray(y, float)
+    denom = float((x * x).sum())
+    if denom <= 0:
+        return 1e-12
+    return max(float((x * y).sum() / denom), 1e-12)
+
+
+def calibrate_kernels(
+    lengths: TSequence[int] = (60, 100),
+    widths: TSequence[int] = (8, 16, 32),
+    seed: int = 0,
+) -> KernelCoefficients:
+    """Time this repository's kernels and fit the model coefficients.
+
+    Uses small rose families so calibration itself takes a few seconds.
+    """
+    from repro.align.dp import affine_align
+    from repro.datagen.rose import generate_family
+    from repro.kmer.rank import RankConfig, centralized_rank
+    from repro.msa.muscle import MuscleLike
+
+    rng = np.random.default_rng(seed)
+    rank_cfg = RankConfig()
+
+    # -- rank kernel: t ~ a_cnt*w*L + a_pair*w^2 ------------------------------
+    xs_cnt, xs_pair, ts = [], [], []
+    for L in lengths:
+        for w in widths:
+            fam = generate_family(
+                n_sequences=w, mean_length=L, relatedness=600,
+                seed=int(rng.integers(2**31)), track_alignment=False,
+            )
+            t0 = time.perf_counter()
+            centralized_rank(list(fam.sequences), rank_cfg)
+            ts.append(time.perf_counter() - t0)
+            xs_cnt.append(w * L)
+            xs_pair.append(w * w)
+    # Two-term fit via normal equations.
+    X = np.column_stack([xs_cnt, xs_pair]).astype(float)
+    y = np.asarray(ts)
+    coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+    a_cnt, a_pair = (max(float(c), 1e-12) for c in coef)
+
+    # -- alignment kernel: t ~ d_dist*w^2*L + d_prof*w*L^2 ----------------------
+    aligner = MuscleLike(two_stage=False, refine=False)
+    xs_d, xs_p, ts = [], [], []
+    for L in lengths:
+        for w in widths:
+            fam = generate_family(
+                n_sequences=w, mean_length=L, relatedness=400,
+                seed=int(rng.integers(2**31)), track_alignment=False,
+            )
+            t0 = time.perf_counter()
+            aligner.align(fam.sequences)
+            ts.append(time.perf_counter() - t0)
+            xs_d.append(w * w * L)
+            xs_p.append(w * L * L)
+    X = np.column_stack([xs_d, xs_p]).astype(float)
+    coef, *_ = np.linalg.lstsq(X, np.asarray(ts), rcond=None)
+    d_dist, d_prof = (max(float(c), 1e-12) for c in coef)
+
+    # -- tweak kernel: t ~ d_tweak * L^2 ----------------------------------------
+    xs, ts = [], []
+    for L in (max(lengths), 2 * max(lengths)):
+        S = rng.normal(0, 1, (L, L))
+        t0 = time.perf_counter()
+        affine_align(S, 10.0, 0.5)
+        ts.append(time.perf_counter() - t0)
+        xs.append(L * L)
+    d_tweak = _fit_through_origin(np.asarray(xs), np.asarray(ts))
+
+    return KernelCoefficients(
+        a_cnt=a_cnt, a_pair=a_pair, d_dist=d_dist, d_prof=d_prof,
+        d_tweak=d_tweak,
+    )
+
+
+def predict_stage_times(
+    n_sequences: int,
+    n_procs: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    cost_model: CostModel | None = None,
+    samples_per_proc: int | None = None,
+    paper_mode: bool = False,
+) -> StageTimes:
+    """Modeled per-stage times of one run (max-loaded rank's view)."""
+    cost = cost_model or CostModel()
+    N, p, L = n_sequences, n_procs, float(mean_length)
+    w = N / max(p, 1)
+    k = samples_per_proc or max(p - 1, 1)
+    c = coeffs
+    if paper_mode and c.d_quart == 0.0:
+        c = c.with_quartic(w_ref=w, L_ref=L)
+
+    st = StageTimes()
+    st.stages["local_rank"] = c.a_cnt * w * L + c.a_pair * w * w
+    st.stages["global_rank"] = c.a_cnt * w * L + c.a_pair * w * (k * p)
+    align = c.d_dist * w * w * L + c.d_prof * w * L * L
+    if paper_mode:
+        align += c.d_quart * w**4
+    st.stages["bucket_align"] = align
+    if p > 1:
+        st.stages["ancestor_align"] = (
+            c.d_dist * p * p * L + c.d_prof * p * L * L
+        )
+        st.stages["tweak"] = c.d_tweak * L * L
+
+    if p > 1:
+        msg = cost.message_cost
+        st.stages["comm_samples"] = (p - 1) * msg(k * L) * 2  # gather+bcast
+        st.stages["comm_pivots"] = int(np.ceil(np.log2(p))) * msg(8 * p)
+        st.stages["comm_redistribute"] = (p - 1) * msg(w * L / p)
+        st.stages["comm_ancestors"] = (p - 1) * msg(L) + int(
+            np.ceil(np.log2(p))
+        ) * msg(L)
+        st.stages["comm_glue"] = (p - 1) * msg(w * L)
+    return st
+
+
+def predict_total_time(
+    n_sequences: int,
+    n_procs: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    cost_model: CostModel | None = None,
+    paper_mode: bool = False,
+) -> float:
+    """Modeled wall time of a Sample-Align-D run."""
+    return predict_stage_times(
+        n_sequences, n_procs, mean_length, coeffs, cost_model,
+        paper_mode=paper_mode,
+    ).total
+
+
+def predict_sequential_time(
+    n_sequences: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    paper_mode: bool = False,
+) -> float:
+    """Modeled time of the *sequential* aligner on the full set (the
+    paper's Fig. 6 MUSCLE baseline)."""
+    N, L = n_sequences, float(mean_length)
+    c = coeffs
+    if paper_mode and c.d_quart == 0.0:
+        c = c.with_quartic(w_ref=N, L_ref=L)
+    t = c.d_dist * N * N * L + c.d_prof * N * L * L
+    if paper_mode:
+        t += c.d_quart * float(N) ** 4
+    return t
+
+
+def speedup_curve(
+    n_sequences: int,
+    mean_length: float,
+    procs: TSequence[int],
+    coeffs: KernelCoefficients,
+    cost_model: CostModel | None = None,
+    paper_mode: bool = False,
+) -> np.ndarray:
+    """``T(1) / T(p)`` over a processor sweep (the paper's Fig. 5)."""
+    t1 = predict_total_time(
+        n_sequences, 1, mean_length, coeffs, cost_model, paper_mode
+    )
+    return np.array(
+        [
+            t1
+            / predict_total_time(
+                n_sequences, p, mean_length, coeffs, cost_model, paper_mode
+            )
+            for p in procs
+        ]
+    )

@@ -1,0 +1,126 @@
+"""Capacity-planning helpers on top of the calibrated model.
+
+Answers the questions a user of the system actually asks before running:
+how many processors pay off for my (N, L), where does communication
+overtake computation, and at what N does Sample-Align-D start beating
+the sequential aligner outright.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as TSequence, Tuple
+
+import numpy as np
+
+from repro.parcomp.cost import CostModel
+from repro.perfmodel.model import (
+    KernelCoefficients,
+    predict_sequential_time,
+    predict_stage_times,
+    predict_total_time,
+)
+
+__all__ = [
+    "optimal_processors",
+    "efficiency_curve",
+    "comm_compute_crossover",
+    "breakeven_n",
+]
+
+
+def optimal_processors(
+    n_sequences: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    max_procs: int = 64,
+    cost_model: CostModel | None = None,
+) -> int:
+    """The processor count minimising modeled total time for (N, L)."""
+    if max_procs < 1:
+        raise ValueError("max_procs must be >= 1")
+    times = [
+        predict_total_time(n_sequences, p, mean_length, coeffs, cost_model)
+        for p in range(1, max_procs + 1)
+    ]
+    return int(np.argmin(times)) + 1
+
+
+def efficiency_curve(
+    n_sequences: int,
+    mean_length: float,
+    procs: TSequence[int],
+    coeffs: KernelCoefficients,
+    cost_model: CostModel | None = None,
+) -> np.ndarray:
+    """Parallel efficiency ``T(1) / (p * T(p))`` over a processor sweep.
+
+    Values above 1 mean superlinear scaling (the paper's regime).
+    """
+    t1 = predict_total_time(n_sequences, 1, mean_length, coeffs, cost_model)
+    return np.array(
+        [
+            t1
+            / (
+                p
+                * predict_total_time(
+                    n_sequences, p, mean_length, coeffs, cost_model
+                )
+            )
+            for p in procs
+        ]
+    )
+
+
+def comm_compute_crossover(
+    n_sequences: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    max_procs: int = 4096,
+    cost_model: CostModel | None = None,
+) -> int:
+    """Smallest p whose modeled communication exceeds its computation.
+
+    Past this point adding processors is communication-bound (the regime
+    the paper's assumption "communication much less than alignment time"
+    excludes).  Returns ``max_procs`` when no crossover occurs.
+    """
+    p = 2
+    while p <= max_procs:
+        st = predict_stage_times(
+            n_sequences, p, mean_length, coeffs, cost_model
+        )
+        if st.comm > st.compute:
+            return p
+        p *= 2
+    return max_procs
+
+
+def breakeven_n(
+    n_procs: int,
+    mean_length: float,
+    coeffs: KernelCoefficients,
+    cost_model: CostModel | None = None,
+    n_max: int = 1 << 20,
+) -> int:
+    """Smallest N where the p-rank pipeline beats the sequential aligner.
+
+    Binary search over N; returns ``n_max`` if the pipeline never wins
+    (e.g. absurd cost models).
+    """
+    def wins(n: int) -> bool:
+        par = predict_total_time(n, n_procs, mean_length, coeffs, cost_model)
+        seq = predict_sequential_time(n, mean_length, coeffs)
+        return par < seq
+
+    lo, hi = 2, 4
+    while hi < n_max and not wins(hi):
+        hi *= 2
+    if hi >= n_max:
+        return n_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if wins(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,62 @@
+"""Sequence substrate: alphabets, sequences, alignments, FASTA, matrices.
+
+This subpackage provides everything the alignment layers need to represent
+biological sequences efficiently:
+
+- :mod:`repro.seq.alphabet` -- residue alphabets, including the compressed
+  amino-acid alphabets of Edgar (2004) used by the k-mer rank machinery.
+- :mod:`repro.seq.sequence` -- :class:`Sequence` and :class:`SequenceSet`.
+- :mod:`repro.seq.alignment` -- :class:`Alignment` (a gapped, equal-length
+  set of sequences) plus column utilities.
+- :mod:`repro.seq.fasta` -- FASTA parsing and serialisation.
+- :mod:`repro.seq.matrices` -- substitution matrices (BLOSUM62, PAM250, ...)
+  and affine gap-penalty models.
+"""
+
+from repro.seq.alphabet import (
+    Alphabet,
+    CompressedAlphabet,
+    DAYHOFF6,
+    DNA,
+    MURPHY10,
+    PROTEIN,
+    SE_B14,
+    compressed_alphabets,
+)
+from repro.seq.sequence import Sequence, SequenceSet
+from repro.seq.alignment import Alignment
+from repro.seq.fasta import parse_fasta, read_fasta, write_fasta, to_fasta
+from repro.seq.matrices import (
+    BLOSUM62,
+    DNA_SIMPLE,
+    GapPenalties,
+    IDENTITY,
+    PAM250,
+    SubstitutionMatrix,
+    get_matrix,
+)
+
+__all__ = [
+    "Alphabet",
+    "Alignment",
+    "BLOSUM62",
+    "CompressedAlphabet",
+    "DAYHOFF6",
+    "DNA",
+    "DNA_SIMPLE",
+    "GapPenalties",
+    "IDENTITY",
+    "MURPHY10",
+    "PAM250",
+    "PROTEIN",
+    "SE_B14",
+    "Sequence",
+    "SequenceSet",
+    "SubstitutionMatrix",
+    "compressed_alphabets",
+    "get_matrix",
+    "parse_fasta",
+    "read_fasta",
+    "to_fasta",
+    "write_fasta",
+]

@@ -1,0 +1,86 @@
+"""FASTA parsing and serialisation.
+
+Plain-text FASTA is the interchange format of every tool the paper builds
+on (MUSCLE, CLUSTALW, the rose generator), so the reproduction speaks it
+too.  Both ungapped sequence files and gapped alignment files are handled.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.seq.alphabet import Alphabet, GAP_CHAR, PROTEIN
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence, SequenceSet
+
+__all__ = ["parse_fasta", "read_fasta", "write_fasta", "to_fasta", "parse_fasta_alignment"]
+
+
+def _iter_records(text: str) -> Iterator[Tuple[str, str, str]]:
+    """Yield ``(id, description, residue_text)`` triples from FASTA text."""
+    header: str | None = None
+    desc = ""
+    chunks: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield header, desc, "".join(chunks)
+            body = line[1:].strip()
+            header, _, desc = body.partition(" ")
+            if not header:
+                raise ValueError("FASTA record with empty header")
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("FASTA text does not start with a '>' header")
+            chunks.append(line)
+    if header is not None:
+        yield header, desc, "".join(chunks)
+
+
+def parse_fasta(text: str, alphabet: Alphabet = PROTEIN) -> SequenceSet:
+    """Parse FASTA text into ungapped sequences (gaps are stripped)."""
+    return SequenceSet(
+        Sequence(rid, body, alphabet, description=desc)
+        for rid, desc, body in _iter_records(text)
+    )
+
+
+def parse_fasta_alignment(text: str, alphabet: Alphabet = PROTEIN) -> Alignment:
+    """Parse gapped FASTA text into an :class:`Alignment`."""
+    ids: List[str] = []
+    rows: List[str] = []
+    for rid, _desc, body in _iter_records(text):
+        ids.append(rid)
+        rows.append(body.upper())
+    return Alignment.from_rows(ids, rows, alphabet)
+
+
+def read_fasta(path: Union[str, os.PathLike], alphabet: Alphabet = PROTEIN) -> SequenceSet:
+    """Read a FASTA file of ungapped sequences."""
+    with open(path, "r", encoding="ascii") as fh:
+        return parse_fasta(fh.read(), alphabet)
+
+
+def to_fasta(seqs: Iterable[Sequence], width: int = 60) -> str:
+    """Serialise sequences to FASTA text."""
+    buf = io.StringIO()
+    for s in seqs:
+        header = f">{s.id}" + (f" {s.description}" if s.description else "")
+        buf.write(header + "\n")
+        for i in range(0, len(s.residues), width):
+            buf.write(s.residues[i : i + width] + "\n")
+    return buf.getvalue()
+
+
+def write_fasta(
+    path: Union[str, os.PathLike], seqs: Iterable[Sequence], width: int = 60
+) -> None:
+    """Write sequences to a FASTA file."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(to_fasta(seqs, width))

@@ -1,0 +1,150 @@
+"""Additional alignment interchange formats: CLUSTAL and PHYLIP.
+
+The tools the paper builds on emit more than FASTA: CLUSTALW writes
+``.aln`` (CLUSTAL) files and most phylogeny software consumes PHYLIP.
+Both are implemented for interoperability of the reproduction's outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import Alphabet, PROTEIN
+
+__all__ = [
+    "to_clustal",
+    "parse_clustal",
+    "write_clustal",
+    "read_clustal",
+    "to_phylip",
+    "parse_phylip",
+]
+
+_CLUSTAL_HEADER = "CLUSTAL W (repro) multiple sequence alignment"
+
+
+def _conservation_line(aln: Alignment, start: int, stop: int) -> str:
+    """CLUSTAL's consensus symbols: '*' identical, ':' strong, '.' weak."""
+    # Strong/weak groups from CLUSTALX.
+    strong = ["STA", "NEQK", "NHQK", "NDEQ", "QHRK", "MILV", "MILF",
+              "HY", "FYW"]
+    weak = ["CSA", "ATV", "SAG", "STNK", "STPA", "SGND", "SNDEQK",
+            "NDEQHK", "NEQHRK", "FVLIM", "HFY"]
+    gap = aln.alphabet.gap_code
+    out = []
+    for j in range(start, stop):
+        col = aln.matrix[:, j]
+        if (col == gap).any():
+            out.append(" ")
+            continue
+        chars = {aln.alphabet.symbols[c] for c in col}
+        if len(chars) == 1:
+            out.append("*")
+        elif any(chars <= set(g) for g in strong):
+            out.append(":")
+        elif any(chars <= set(g) for g in weak):
+            out.append(".")
+        else:
+            out.append(" ")
+    return "".join(out)
+
+
+def to_clustal(aln: Alignment, width: int = 60) -> str:
+    """Serialise an alignment in CLUSTAL (.aln) format."""
+    name_w = max((len(i) for i in aln.ids), default=4) + 3
+    lines = [_CLUSTAL_HEADER, "", ""]
+    for start in range(0, aln.n_columns, width):
+        stop = min(start + width, aln.n_columns)
+        for rid in aln.ids:
+            lines.append(f"{rid:<{name_w}}{aln.row_text(rid)[start:stop]}")
+        lines.append(" " * name_w + _conservation_line(aln, start, stop))
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def parse_clustal(text: str, alphabet: Alphabet = PROTEIN) -> Alignment:
+    """Parse CLUSTAL format text into an :class:`Alignment`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].upper().startswith("CLUSTAL"):
+        raise ValueError("not a CLUSTAL file (missing header)")
+    chunks: dict[str, List[str]] = {}
+    order: List[str] = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        # Conservation lines start with whitespace.
+        if line[0] in " \t":
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        name, seq = parts[0], parts[1]
+        if name not in chunks:
+            chunks[name] = []
+            order.append(name)
+        chunks[name].append(seq)
+    if not order:
+        raise ValueError("CLUSTAL file contains no sequences")
+    rows = ["".join(chunks[name]) for name in order]
+    return Alignment.from_rows(order, rows, alphabet)
+
+
+def write_clustal(path: Union[str, os.PathLike], aln: Alignment) -> None:
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(to_clustal(aln))
+
+
+def read_clustal(
+    path: Union[str, os.PathLike], alphabet: Alphabet = PROTEIN
+) -> Alignment:
+    with open(path, "r", encoding="ascii") as fh:
+        return parse_clustal(fh.read(), alphabet)
+
+
+def to_phylip(aln: Alignment) -> str:
+    """Sequential PHYLIP format (names truncated/padded to 10 chars)."""
+    if aln.n_rows == 0:
+        raise ValueError("cannot serialise an empty alignment")
+    names = []
+    seen = set()
+    for rid in aln.ids:
+        name = rid[:10]
+        if name in seen:  # disambiguate truncation collisions
+            for suffix in range(100):
+                cand = (name[:8] + f"{suffix:02d}")[:10]
+                if cand not in seen:
+                    name = cand
+                    break
+        seen.add(name)
+        names.append(name)
+    lines = [f" {aln.n_rows} {aln.n_columns}"]
+    for name, rid in zip(names, aln.ids):
+        lines.append(f"{name:<10}{aln.row_text(rid)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_phylip(text: str, alphabet: Alphabet = PROTEIN) -> Alignment:
+    """Parse sequential PHYLIP text."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        raise ValueError("empty PHYLIP text")
+    try:
+        n, cols = (int(v) for v in lines[0].split())
+    except ValueError:
+        raise ValueError("bad PHYLIP header") from None
+    if len(lines) - 1 < n:
+        raise ValueError("PHYLIP body shorter than the declared row count")
+    ids, rows = [], []
+    for line in lines[1 : n + 1]:
+        ids.append(line[:10].strip())
+        rows.append(line[10:].replace(" ", ""))
+    aln = Alignment.from_rows(ids, rows, alphabet)
+    if aln.n_columns != cols:
+        raise ValueError(
+            f"PHYLIP header declares {cols} columns, found {aln.n_columns}"
+        )
+    return aln

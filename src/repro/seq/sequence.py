@@ -1,0 +1,193 @@
+"""Sequence containers.
+
+:class:`Sequence` is an immutable named residue string with a cached numpy
+encoding; :class:`SequenceSet` is an ordered collection with bulk utilities
+(the unit the Sample-Align-D pipeline scatters, redistributes and aligns).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Sequence as TSequence
+
+import numpy as np
+
+from repro.seq.alphabet import Alphabet, GAP_CHAR, PROTEIN
+
+__all__ = ["Sequence", "SequenceSet"]
+
+
+class Sequence:
+    """A named biological sequence.
+
+    Parameters
+    ----------
+    id:
+        Unique identifier (FASTA header word).
+    residues:
+        Residue characters; gaps are stripped on construction so a
+        ``Sequence`` is always ungapped (use :class:`repro.seq.Alignment`
+        for gapped rows).
+    alphabet:
+        Defaults to the protein alphabet.
+    description:
+        Optional free-text annotation (rest of the FASTA header).
+    """
+
+    __slots__ = ("id", "residues", "alphabet", "description", "_codes")
+
+    def __init__(
+        self,
+        id: str,
+        residues: str,
+        alphabet: Alphabet = PROTEIN,
+        description: str = "",
+    ) -> None:
+        if not id:
+            raise ValueError("sequence id must be non-empty")
+        self.id = id
+        self.residues = residues.replace(GAP_CHAR, "").replace(".", "").upper()
+        self.alphabet = alphabet
+        self.description = description
+        self._codes: np.ndarray | None = None
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.residues)
+
+    def __getitem__(self, idx):
+        return self.residues[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Sequence)
+            and self.id == other.id
+            and self.residues == other.residues
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.residues))
+
+    def __repr__(self) -> str:
+        head = self.residues[:24] + ("..." if len(self.residues) > 24 else "")
+        return f"Sequence({self.id!r}, {head!r}, len={len(self)})"
+
+    # -- encoding ----------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Residue codes in this sequence's alphabet (cached, read-only)."""
+        if self._codes is None:
+            codes = self.alphabet.encode(self.residues, allow_gaps=False)
+            codes.setflags(write=False)
+            self._codes = codes
+        return self._codes
+
+    def encoded(self, alphabet: Alphabet) -> np.ndarray:
+        """Residue codes in an arbitrary alphabet (no caching)."""
+        if alphabet == self.alphabet:
+            return self.codes
+        return alphabet.encode(self.residues, allow_gaps=False)
+
+    def with_id(self, new_id: str) -> "Sequence":
+        """A copy of this sequence under a different identifier."""
+        return Sequence(new_id, self.residues, self.alphabet, self.description)
+
+
+class SequenceSet:
+    """An ordered collection of :class:`Sequence` objects.
+
+    Supports list-style indexing and iteration plus bulk helpers used across
+    the pipeline (id lookup, length statistics, deterministic sub-sampling).
+    Identifiers must be unique.
+    """
+
+    def __init__(self, sequences: Iterable[Sequence] = ()) -> None:
+        self._seqs: List[Sequence] = list(sequences)
+        ids = [s.id for s in self._seqs]
+        if len(set(ids)) != len(ids):
+            dup = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate sequence ids: {dup[:5]}")
+        self._by_id = {s.id: s for s in self._seqs}
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._seqs)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._seqs)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return SequenceSet(self._seqs[idx])
+        if isinstance(idx, str):
+            return self._by_id[idx]
+        if isinstance(idx, (list, np.ndarray)):
+            return SequenceSet([self._seqs[int(i)] for i in idx])
+        return self._seqs[idx]
+
+    def __contains__(self, id: str) -> bool:
+        return id in self._by_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SequenceSet) and self._seqs == other._seqs
+
+    def __repr__(self) -> str:
+        return f"SequenceSet(n={len(self)}, mean_len={self.mean_length():.1f})"
+
+    # -- utilities -----------------------------------------------------------
+
+    @property
+    def ids(self) -> List[str]:
+        return [s.id for s in self._seqs]
+
+    def lengths(self) -> np.ndarray:
+        return np.array([len(s) for s in self._seqs], dtype=np.int64)
+
+    def mean_length(self) -> float:
+        return float(self.lengths().mean()) if self._seqs else 0.0
+
+    def max_length(self) -> int:
+        return int(self.lengths().max()) if self._seqs else 0
+
+    def add(self, seq: Sequence) -> None:
+        if seq.id in self._by_id:
+            raise ValueError(f"duplicate sequence id: {seq.id!r}")
+        self._seqs.append(seq)
+        self._by_id[seq.id] = seq
+
+    def extend(self, seqs: Iterable[Sequence]) -> None:
+        for s in seqs:
+            self.add(s)
+
+    def subset(self, predicate: Callable[[Sequence], bool]) -> "SequenceSet":
+        return SequenceSet([s for s in self._seqs if predicate(s)])
+
+    def sample(self, n: int, rng: np.random.Generator) -> "SequenceSet":
+        """``n`` sequences drawn without replacement (deterministic given rng)."""
+        if n > len(self._seqs):
+            raise ValueError(f"cannot sample {n} from {len(self._seqs)} sequences")
+        idx = rng.choice(len(self._seqs), size=n, replace=False)
+        return SequenceSet([self._seqs[int(i)] for i in sorted(idx)])
+
+    def split(self, n_parts: int) -> List["SequenceSet"]:
+        """Split into ``n_parts`` contiguous, near-equal parts (block
+        distribution: the initial data placement of the paper's cluster
+        nodes)."""
+        if n_parts <= 0:
+            raise ValueError("n_parts must be positive")
+        bounds = np.linspace(0, len(self._seqs), n_parts + 1).astype(int)
+        return [
+            SequenceSet(self._seqs[bounds[i] : bounds[i + 1]])
+            for i in range(n_parts)
+        ]
+
+    def reordered(self, ids: TSequence[str]) -> "SequenceSet":
+        """This set re-ordered to match ``ids`` exactly."""
+        if set(ids) != set(self._by_id) or len(ids) != len(self._seqs):
+            raise ValueError("ids must be a permutation of the set's ids")
+        return SequenceSet([self._by_id[i] for i in ids])

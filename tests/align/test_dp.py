@@ -1,0 +1,187 @@
+"""Tests for the shared affine DP kernel (repro.align.dp).
+
+The vectorised kernel is validated against a direct scalar Gotoh
+implementation, including position-specific penalties -- the strongest
+correctness guarantee in the suite, since every aligner builds on it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.dp import NEG, affine_align, affine_score
+
+
+def scalar_gotoh(S, open_x, ext_x, open_y, ext_y):
+    """Reference O(mn) scalar implementation (fully penalised ends)."""
+    m, n = S.shape
+    open_x = np.broadcast_to(np.asarray(open_x, float), (m,))
+    ext_x = np.broadcast_to(np.asarray(ext_x, float), (m,))
+    open_y = np.broadcast_to(np.asarray(open_y, float), (n,))
+    ext_y = np.broadcast_to(np.asarray(ext_y, float), (n,))
+    H = np.full((m + 1, n + 1), NEG)
+    E = np.full((m + 1, n + 1), NEG)
+    F = np.full((m + 1, n + 1), NEG)
+    H[0, 0] = 0.0
+    for i in range(1, m + 1):
+        H[i, 0] = -(open_x[0] + ext_x[:i].sum())
+    for j in range(1, n + 1):
+        H[0, j] = -(open_y[0] + ext_y[:j].sum())
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i, j] = max(E[i - 1, j], H[i - 1, j] - open_x[i - 1]) - ext_x[i - 1]
+            F[i, j] = max(F[i, j - 1], H[i, j - 1] - open_y[j - 1]) - ext_y[j - 1]
+            H[i, j] = max(H[i - 1, j - 1] + S[i - 1, j - 1], E[i, j], F[i, j])
+    return H[m, n]
+
+
+def path_score(S, res, open_x, ext_x, open_y, ext_y, tf=1.0):
+    """Recompute an alignment's score from its maps (independent check)."""
+    m, n = S.shape
+    open_x = np.broadcast_to(np.asarray(open_x, float), (m,))
+    ext_x = np.broadcast_to(np.asarray(ext_x, float), (m,))
+    open_y = np.broadcast_to(np.asarray(open_y, float), (n,))
+    ext_y = np.broadcast_to(np.asarray(ext_y, float), (n,))
+    total = 0.0
+    cols = list(zip(res.x_map, res.y_map))
+    k = 0
+    n_cols = len(cols)
+    while k < n_cols:
+        x, y = cols[k]
+        if x >= 0 and y >= 0:
+            total += S[x, y]
+            k += 1
+            continue
+        # A gap run: consecutive columns gapped on the same side.
+        side_x = x >= 0  # consuming x against gaps in y
+        run = []
+        while k < n_cols:
+            x2, y2 = cols[k]
+            if (x2 >= 0 and y2 < 0) != side_x or (x2 >= 0 and y2 >= 0):
+                break
+            run.append((x2, y2))
+            k += 1
+        terminal = (run[0] == cols[0]) or (run[-1] == cols[-1])
+        scale = tf if terminal else 1.0
+        if side_x:
+            first = run[0][0]
+            total -= scale * (open_x[first] + sum(ext_x[x2] for x2, _ in run))
+        else:
+            first = run[0][1]
+            total -= scale * (open_y[first] + sum(ext_y[_y] for _, _y in run))
+    return total
+
+
+def assert_valid_maps(res, m, n):
+    xm = res.x_map[res.x_map >= 0]
+    ym = res.y_map[res.y_map >= 0]
+    assert xm.tolist() == list(range(m))
+    assert ym.tolist() == list(range(n))
+    # No column may be a double gap.
+    assert ((res.x_map >= 0) | (res.y_map >= 0)).all()
+
+
+class TestAgainstScalarReference:
+    @given(st.integers(0, 2**32 - 1))
+    def test_scalar_penalties(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = rng.integers(1, 14, 2)
+        S = rng.normal(0, 3, (m, n))
+        go, ge = rng.uniform(0.5, 8), rng.uniform(0.0, 0.5)
+        expected = scalar_gotoh(S, go, ge, go, ge)
+        assert np.isclose(affine_score(S, go, ge), expected)
+        res = affine_align(S, go, ge)
+        assert np.isclose(res.score, expected)
+        assert_valid_maps(res, m, n)
+        assert np.isclose(path_score(S, res, go, ge, go, ge), expected)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_position_specific_penalties(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = rng.integers(1, 12, 2)
+        S = rng.normal(0, 3, (m, n))
+        open_x = rng.uniform(0.5, 8, m)
+        ext_x = rng.uniform(0.0, 0.5, m)
+        open_y = rng.uniform(0.5, 8, n)
+        ext_y = rng.uniform(0.0, 0.5, n)
+        expected = scalar_gotoh(S, open_x, ext_x, open_y, ext_y)
+        got = affine_score(S, open_x, ext_x, open_y, ext_y)
+        assert np.isclose(got, expected)
+        res = affine_align(S, open_x, ext_x, open_y, ext_y)
+        assert np.isclose(res.score, expected)
+        assert_valid_maps(res, m, n)
+        assert np.isclose(
+            path_score(S, res, open_x, ext_x, open_y, ext_y), expected
+        )
+
+    def test_big_matrix_spot_check(self):
+        rng = np.random.default_rng(42)
+        S = rng.normal(0, 2, (60, 45))
+        expected = scalar_gotoh(S, 5.0, 0.3, 5.0, 0.3)
+        assert np.isclose(affine_score(S, 5.0, 0.3), expected)
+
+
+class TestTerminalFactor:
+    @given(st.integers(0, 2**32 - 1))
+    def test_free_ends_score_matches_path(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = rng.integers(1, 10, 2)
+        S = rng.normal(0, 3, (m, n))
+        go, ge = 4.0, 0.25
+        tf = float(rng.choice([0.0, 0.3, 1.0]))
+        res = affine_align(S, go, ge, terminal_factor=tf)
+        assert_valid_maps(res, m, n)
+        recomputed = path_score(S, res, go, ge, go, ge, tf=tf)
+        assert res.score >= scalar_gotoh(S, go, ge, go, ge) - 1e-9
+        assert np.isclose(res.score, recomputed)
+        assert np.isclose(affine_score(S, go, ge, terminal_factor=tf), res.score)
+
+    def test_free_ends_prefer_overlap(self):
+        # With free ends, a strong diagonal block should be matched and the
+        # overhangs gapped for free.
+        S = np.full((6, 6), -5.0)
+        for i in range(3):
+            S[3 + i, i] = 10.0  # x suffix matches y prefix
+        res = affine_align(S, 8.0, 0.5, terminal_factor=0.0)
+        assert res.score == pytest.approx(30.0)
+
+    def test_full_penalty_is_global(self):
+        S = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        assert np.isclose(
+            affine_score(S, 2.0, 0.5, terminal_factor=1.0),
+            scalar_gotoh(S, 2.0, 0.5, 2.0, 0.5),
+        )
+
+
+class TestEdgeCases:
+    def test_empty_both(self):
+        res = affine_align(np.zeros((0, 0)), 5, 0.5)
+        assert res.score == 0.0 and res.n_columns == 0
+
+    def test_empty_x(self):
+        res = affine_align(np.zeros((0, 3)), 5, 0.5)
+        assert res.n_columns == 3
+        assert (res.x_map == -1).all()
+        assert res.score == pytest.approx(-(5 + 3 * 0.5))
+
+    def test_empty_y(self):
+        res = affine_align(np.zeros((2, 0)), 5, 0.5)
+        assert (res.y_map == -1).all()
+        assert res.score == pytest.approx(-(5 + 2 * 0.5))
+
+    def test_single_cell(self):
+        res = affine_align(np.array([[7.0]]), 5, 0.5)
+        assert res.score == 7.0
+        assert res.x_map.tolist() == [0] and res.y_map.tolist() == [0]
+
+    def test_bad_penalty_shape(self):
+        with pytest.raises(ValueError, match="length"):
+            affine_score(np.zeros((3, 2)), np.zeros(2), 0.5)
+
+    def test_deterministic_tie_break(self):
+        S = np.zeros((3, 3))
+        r1 = affine_align(S, 1.0, 0.1)
+        r2 = affine_align(S, 1.0, 0.1)
+        assert np.array_equal(r1.x_map, r2.x_map)
+        assert np.array_equal(r1.y_map, r2.y_map)

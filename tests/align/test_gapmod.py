@@ -1,0 +1,87 @@
+"""Tests for the CLUSTALW-style gap modifiers (repro.align.gapmod)."""
+
+import numpy as np
+import pytest
+
+from repro.align.gapmod import (
+    HYDROPHILIC,
+    hydrophilic_run_mask,
+    position_specific_open_factors,
+    residue_gap_factors,
+)
+from repro.align.profile import Profile
+from repro.align.profile_align import ProfileAlignConfig
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import PROTEIN
+from repro.seq.sequence import Sequence
+
+
+def prof(rows, ids=None):
+    ids = ids or [f"r{i}" for i in range(len(rows))]
+    return Profile(Alignment.from_rows(ids, rows))
+
+
+class TestResidueFactors:
+    def test_shape_and_mean(self):
+        f = residue_gap_factors()
+        assert f.shape == (PROTEIN.size,)
+        assert np.isclose(f.mean(), 1.0)
+        assert (f > 0).all()
+
+    def test_glycine_cheaper_than_tryptophan(self):
+        f = residue_gap_factors()
+        # Gaps near G are common in nature; near W they are rare.
+        assert f[PROTEIN.index("G")] > f[PROTEIN.index("W")]
+
+    def test_proline_cheap(self):
+        f = residue_gap_factors()
+        assert f[PROTEIN.index("P")] > f[PROTEIN.index("I")]
+
+
+class TestHydrophilicRuns:
+    def test_detects_long_run(self):
+        # Ten hydrophilic columns surrounded by hydrophobic ones.
+        rows = ["WWW" + "DEGKN" * 2 + "WWW"] * 2
+        mask = hydrophilic_run_mask(prof(rows))
+        assert mask[3:13].all()
+        assert not mask[:3].any() and not mask[13:].any()
+
+    def test_short_run_ignored(self):
+        rows = ["WWWDEGWWW"] * 2  # run of 3 < min_run 5
+        assert not hydrophilic_run_mask(prof(rows)).any()
+
+    def test_all_hydrophobic(self):
+        assert not hydrophilic_run_mask(prof(["WFILVWFILV"] * 2)).any()
+
+    def test_threshold(self):
+        rows = ["DWDWDWDWDW" * 2] * 2  # 50% hydrophilic columns interleaved
+        mask = hydrophilic_run_mask(prof(rows), threshold=0.9)
+        assert not mask.all()
+
+
+class TestCombinedFactors:
+    def test_range(self):
+        rows = ["WWWDEGKNQPRSWWW"] * 3
+        f = position_specific_open_factors(prof(rows))
+        assert (f >= 0.1).all() and (f <= 3.0).all()
+
+    def test_hydrophilic_run_reduced(self):
+        rows = ["WWW" + "DEGKN" * 2 + "WWW"] * 2
+        f = position_specific_open_factors(prof(rows))
+        assert f[5] < f[0]
+
+    def test_config_integration(self):
+        cfg = ProfileAlignConfig(clustalw_gap_modifiers=True)
+        p = prof(["WWWDEGKNQPRSWWW"] * 2)
+        go, ge = cfg.gap_vectors(p)
+        assert go.shape == (p.n_columns,)
+        # Extension penalties untouched by the modifiers.
+        assert np.allclose(ge, cfg.gaps.extend * np.ones(p.n_columns))
+
+    def test_alignment_still_roundtrips(self, small_family):
+        from repro.msa import ClustalWLike
+
+        aln = ClustalWLike().align(small_family.sequences)
+        un = aln.ungapped()
+        for s in small_family.sequences:
+            assert un[s.id].residues == s.residues

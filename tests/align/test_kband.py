@@ -1,0 +1,63 @@
+"""Tests for the adaptive k-band aligner (repro.align.kband)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.dp import affine_score
+from repro.align.kband import banded_align, banded_score, kband_global_score
+from repro.align.pairwise import global_align, global_score
+from repro.datagen.rose import generate_family
+from repro.seq.sequence import Sequence
+
+
+class TestExactness:
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_full_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = rng.integers(1, 30, 2)
+        S = rng.normal(0, 3, (m, n))
+        go, ge = rng.uniform(1, 8), rng.uniform(0, 0.5)
+        assert np.isclose(
+            kband_global_score(S, go, ge, initial_k=2),
+            affine_score(S, go, ge),
+        )
+
+    def test_tiny_initial_band_still_exact(self):
+        rng = np.random.default_rng(7)
+        S = rng.normal(0, 2, (50, 38))
+        assert np.isclose(
+            kband_global_score(S, 5.0, 0.3, initial_k=1),
+            affine_score(S, 5.0, 0.3),
+        )
+
+    def test_sequences_match_global(self):
+        fam = generate_family(2, 200, relatedness=200, seed=3,
+                              track_alignment=False)
+        x, y = list(fam.sequences)
+        assert np.isclose(banded_score(x, y), global_score(x, y))
+
+    def test_align_traceback_consistent(self):
+        fam = generate_family(2, 150, relatedness=250, seed=5,
+                              track_alignment=False)
+        x, y = list(fam.sequences)
+        banded = banded_align(x, y)
+        full = global_align(x, y)
+        assert np.isclose(banded.score, full.score)
+        gx, gy = banded.gapped_texts()
+        assert gx.replace("-", "") == x.residues
+        assert gy.replace("-", "") == y.residues
+
+    def test_empty_sequences(self):
+        x = Sequence("x", "MKV")
+        y = Sequence("y", "")
+        res = banded_align(x, y)
+        assert res.n_columns == 3
+        assert (res.y_map == -1).all()
+
+    def test_very_different_lengths(self):
+        # The initial band must widen to cover |n - m|.
+        x = Sequence("x", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+        y = Sequence("y", "MKQR")
+        assert np.isclose(banded_score(x, y), global_score(x, y))

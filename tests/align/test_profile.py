@@ -1,0 +1,97 @@
+"""Tests for repro.align.profile."""
+
+import numpy as np
+import pytest
+
+from repro.align.profile import Profile, merge_profiles
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import PROTEIN
+from repro.seq.sequence import Sequence
+
+
+def mk(rows, ids=None):
+    ids = ids or [f"r{i}" for i in range(len(rows))]
+    return Profile(Alignment.from_rows(ids, rows))
+
+
+class TestProfile:
+    def test_from_sequence(self):
+        p = Profile.from_sequence(Sequence("a", "MKV"))
+        assert p.n_sequences == 1 and p.n_columns == 3
+        assert np.allclose(p.occupancy, 1.0)
+
+    def test_counts(self):
+        p = mk(["MK", "MV"])
+        assert p.counts[0, PROTEIN.index("M")] == 2
+        assert p.counts[1, PROTEIN.index("K")] == 1
+        assert p.counts[1, PROTEIN.index("V")] == 1
+
+    def test_frequency_mass_equals_occupancy(self):
+        p = mk(["M-K", "MVK", "M--"])
+        assert np.allclose(p.frequencies.sum(axis=1), p.occupancy)
+
+    def test_gap_counts(self):
+        p = mk(["M-", "M-"])
+        assert p.counts[1, PROTEIN.gap_code] == 2
+        assert p.occupancy[1] == 0.0
+
+    def test_from_sequences_equal_length(self):
+        p = Profile.from_sequences(
+            [Sequence("a", "MKV"), Sequence("b", "MKL")]
+        )
+        assert p.n_sequences == 2
+
+
+class TestMergeProfiles:
+    def test_identity_merge(self):
+        px = mk(["MK"], ids=["a"])
+        py = mk(["MK"], ids=["b"])
+        merged = merge_profiles(
+            px, py, np.array([0, 1]), np.array([0, 1])
+        )
+        assert merged.alignment.ids == ["a", "b"]
+        assert merged.alignment.row_text("a") == "MK"
+        assert merged.alignment.row_text("b") == "MK"
+
+    def test_gapped_merge(self):
+        px = mk(["MK"], ids=["a"])
+        py = mk(["K"], ids=["b"])
+        # Path: x0 vs gap, x1 vs y0.
+        merged = merge_profiles(px, py, np.array([0, 1]), np.array([-1, 0]))
+        assert merged.alignment.row_text("a") == "MK"
+        assert merged.alignment.row_text("b") == "-K"
+
+    def test_existing_gaps_preserved(self):
+        px = mk(["M-K", "MVK"], ids=["a", "b"])
+        py = mk(["MK"], ids=["c"])
+        merged = merge_profiles(
+            px, py, np.array([0, 1, 2]), np.array([0, -1, 1])
+        )
+        assert merged.alignment.row_text("a") == "M-K"
+        assert merged.alignment.row_text("c") == "M-K"
+
+    def test_incomplete_path_rejected(self):
+        px = mk(["MK"], ids=["a"])
+        py = mk(["MK"], ids=["b"])
+        with pytest.raises(ValueError, match="consume"):
+            merge_profiles(px, py, np.array([0]), np.array([0]))
+
+    def test_length_mismatch_rejected(self):
+        px = mk(["M"], ids=["a"])
+        py = mk(["M"], ids=["b"])
+        with pytest.raises(ValueError, match="equal length"):
+            merge_profiles(px, py, np.array([0]), np.array([0, -1]))
+
+    def test_merged_counts_consistent(self):
+        px = mk(["MKV", "M-V"], ids=["a", "b"])
+        py = mk(["KV"], ids=["c"])
+        merged = merge_profiles(
+            px, py, np.array([0, 1, 2]), np.array([-1, 0, 1])
+        )
+        # Counts recomputed from the merged alignment must match bincount.
+        aln = merged.alignment
+        man = np.zeros_like(merged.counts)
+        for r in range(aln.n_rows):
+            for c in range(aln.n_columns):
+                man[c, aln.matrix[r, c]] += 1
+        assert np.array_equal(man, merged.counts)

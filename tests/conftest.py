@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datagen.rose import generate_family
+from repro.seq.sequence import Sequence, SequenceSet
+
+# Hypothesis: keep examples modest (DP kernels are exercised heavily) and
+# drop the deadline (first-call numpy warmup can be slow on CI).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def tiny_seqs() -> SequenceSet:
+    """Five short, clearly homologous sequences."""
+    return SequenceSet(
+        [
+            Sequence("s1", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"),
+            Sequence("s2", "MKTAYIAKQRQISFVKHFSRQLEERLGLIEV"),
+            Sequence("s3", "MKTAYIARQRQISFVKSHFSRQEERLGLIEVQ"),
+            Sequence("s4", "MAYIAKQRQISFVKSHFSRQLEERLG"),
+            Sequence("s5", "MKTAYIAKQRQTSFVKSHFSRQLEERLGLIE"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_family():
+    """A 12-member rose family with its true alignment."""
+    return generate_family(
+        n_sequences=12, mean_length=90, relatedness=350, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def easy_family():
+    """A closely related family (high expected aligner quality)."""
+    return generate_family(
+        n_sequences=10, mean_length=80, relatedness=120, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def diverse_family():
+    """A phylogenetically diverse family (the paper's regime)."""
+    return generate_family(
+        n_sequences=40, mean_length=100, relatedness=700, seed=5
+    )

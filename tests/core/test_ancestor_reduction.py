@@ -1,0 +1,72 @@
+"""Tests for the tree-reduction global-ancestor extension."""
+
+import pytest
+
+from repro import sample_align_d
+from repro.core.ancestor import merge_ancestors
+from repro.core.config import SampleAlignDConfig
+from repro.datagen.rose import generate_family
+from repro.metrics import qscore
+from repro.seq.sequence import Sequence
+
+
+class TestMergeAncestors:
+    def test_none_identity(self):
+        a = Sequence("a", "MKV")
+        assert merge_ancestors(None, a) is a
+        assert merge_ancestors(a, None) is a
+        assert merge_ancestors(None, None) is None
+
+    def test_merge_identical(self):
+        a = Sequence("anc", "MKTAYIAKQR")
+        merged = merge_ancestors(a, Sequence("b", "MKTAYIAKQR"))
+        assert merged.residues == "MKTAYIAKQR"
+        assert merged.id == "anc"
+
+    def test_merge_related(self):
+        a = Sequence("a", "MKTAYIAKQR")
+        b = Sequence("b", "MKTAYIQR")
+        merged = merge_ancestors(a, b)
+        assert 8 <= len(merged) <= 10
+
+
+class TestTreeReduction:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SampleAlignDConfig(ancestor_reduction="ring")
+
+    @pytest.mark.parametrize("n_procs", [2, 4, 7])
+    def test_roundtrip(self, n_procs, diverse_family):
+        res = sample_align_d(
+            diverse_family.sequences,
+            n_procs=n_procs,
+            config=SampleAlignDConfig(ancestor_reduction="tree"),
+        )
+        un = res.alignment.ungapped()
+        for s in diverse_family.sequences:
+            assert un[s.id].residues == s.residues
+        assert res.global_ancestor is not None
+        assert res.global_ancestor.id == "global_ancestor"
+
+    def test_quality_floor(self, diverse_family):
+        res = sample_align_d(
+            diverse_family.sequences,
+            n_procs=4,
+            config=SampleAlignDConfig(ancestor_reduction="tree"),
+        )
+        assert qscore(res.alignment, diverse_family.reference) > 0.3
+
+    def test_root_ancestor_work_reduced(self):
+        """The tree fold moves ancestor work off the root: rank-0 compute
+        must not exceed the gather-at-root variant's."""
+        fam = generate_family(64, 110, relatedness=600, seed=9,
+                              track_alignment=False)
+        root = sample_align_d(
+            fam.sequences, n_procs=8,
+            config=SampleAlignDConfig(ancestor_reduction="root"),
+        )
+        tree = sample_align_d(
+            fam.sequences, n_procs=8,
+            config=SampleAlignDConfig(ancestor_reduction="tree"),
+        )
+        assert tree.ledger.compute[0] <= root.ledger.compute[0] * 1.5

@@ -1,0 +1,89 @@
+"""Focused tests of driver plumbing and result-object details."""
+
+import numpy as np
+import pytest
+
+from repro import sample_align_d
+from repro.core.config import SampleAlignDConfig
+from repro.datagen.rose import generate_family
+from repro.parcomp.cost import CostModel
+
+
+@pytest.fixture(scope="module")
+def family():
+    return generate_family(24, 70, relatedness=500, seed=31,
+                           track_alignment=False)
+
+
+class TestDriverPlumbing:
+    def test_cost_model_passthrough(self, family):
+        slow = CostModel(alpha=0.01, beta=1e-6)
+        fast = CostModel(alpha=1e-7, beta=1e-12)
+        t_slow = sample_align_d(
+            family.sequences, n_procs=4, cost_model=slow
+        ).modeled_time
+        t_fast = sample_align_d(
+            family.sequences, n_procs=4, cost_model=fast
+        ).modeled_time
+        assert t_slow > t_fast
+
+    def test_seeded_placement_changes_buckets_not_result_rows(self, family):
+        a = sample_align_d(family.sequences, n_procs=4, seed=1)
+        b = sample_align_d(family.sequences, n_procs=4, seed=2)
+        # Output row order is always the input order.
+        assert a.alignment.ids == b.alignment.ids == family.sequences.ids
+
+    def test_p1_diagnostics(self, family):
+        res = sample_align_d(family.sequences, n_procs=1)
+        assert res.global_ancestor is None
+        assert res.pivots.size == 0
+        assert res.bucket_sizes.tolist() == [len(family.sequences)]
+
+    def test_wall_time_positive(self, family):
+        res = sample_align_d(family.sequences, n_procs=2)
+        assert res.wall_time > 0
+
+    def test_sp_matches_rescoring(self, family):
+        from repro.align.scoring import sp_score
+
+        res = sample_align_d(family.sequences, n_procs=3)
+        assert res.sp == pytest.approx(
+            sp_score(res.alignment, res.config.scoring.matrix)
+        )
+
+    def test_summary_bound_line(self, family):
+        res = sample_align_d(family.sequences, n_procs=3)
+        n = len(family.sequences)
+        assert f"2N/p bound = {2 * int(np.ceil(n / 3))}" in res.summary()
+
+    def test_plain_list_input(self, family):
+        res = sample_align_d(list(family.sequences), n_procs=2)
+        assert res.alignment.n_rows == len(family.sequences)
+
+
+class TestLedgerDetails:
+    def test_estimate_nbytes_profile_path(self):
+        from repro.align.profile import Profile
+        from repro.parcomp.cost import estimate_nbytes
+        from repro.seq.sequence import Sequence
+
+        p = Profile.from_sequence(Sequence("a", "MKVAW"))
+        assert estimate_nbytes(p) >= 5
+
+    def test_bytes_grow_with_n(self):
+        small = generate_family(12, 60, relatedness=500, seed=1,
+                                track_alignment=False)
+        large = generate_family(48, 60, relatedness=500, seed=1,
+                                track_alignment=False)
+        b_small = sample_align_d(
+            small.sequences, n_procs=4
+        ).ledger.total_bytes()
+        b_large = sample_align_d(
+            large.sequences, n_procs=4
+        ).ledger.total_bytes()
+        assert b_large > b_small
+
+    def test_message_count_grows_with_p(self, family):
+        m2 = sample_align_d(family.sequences, n_procs=2).ledger.n_messages()
+        m6 = sample_align_d(family.sequences, n_procs=6).ledger.n_messages()
+        assert m6 > m2

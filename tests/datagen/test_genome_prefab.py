@@ -1,0 +1,105 @@
+"""Tests for the synthetic genome and the PREFAB-like benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.genome import SyntheticGenome
+from repro.datagen.prefab import make_prefab_like
+
+
+class TestSyntheticGenome:
+    @pytest.fixture(scope="class")
+    def genome(self):
+        return SyntheticGenome(n_proteins=150, mean_length=120, seed=1)
+
+    def test_count(self, genome):
+        assert len(genome.proteins) == 150
+
+    def test_deterministic(self):
+        a = SyntheticGenome(n_proteins=40, mean_length=100, seed=9)
+        b = SyntheticGenome(n_proteins=40, mean_length=100, seed=9)
+        assert list(a.proteins) == list(b.proteins)
+
+    def test_mean_length_in_range(self, genome):
+        mean = genome.proteins.mean_length()
+        assert 70 <= mean <= 180
+
+    def test_unique_ids(self, genome):
+        assert len(set(genome.proteins.ids)) == 150
+
+    def test_families(self, genome):
+        labels = genome.family_labels()
+        assert labels.shape == (150,)
+        assert genome.n_families > 3
+
+    def test_family_members_share_prefix(self, genome):
+        labels = genome.family_labels()
+        ids = genome.proteins.ids
+        for fam in np.unique(labels)[:5]:
+            members = [ids[i] for i in np.flatnonzero(labels == fam)]
+            prefixes = {m.rsplit("_", 1)[0] for m in members}
+            assert len(prefixes) == 1
+
+    def test_sampling(self, genome):
+        s1 = genome.sample_proteins(20, seed=3)
+        s2 = genome.sample_proteins(20, seed=3)
+        assert s1.ids == s2.ids
+        assert len(s1) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticGenome(n_proteins=0)
+
+    def test_composition_diversity(self, genome):
+        """Distinct families must have measurably different compositions."""
+        from repro.kmer.rank import centralized_rank
+
+        ranks = centralized_rank(list(genome.proteins[:80]))
+        assert ranks.std() > 0.02
+
+
+class TestPrefabLike:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return make_prefab_like(
+            n_cases=6, seqs_per_case=(8, 12), mean_length=70, seed=0
+        )
+
+    def test_case_count(self, cases):
+        assert len(cases) == 6
+
+    def test_set_sizes(self, cases):
+        for c in cases:
+            assert 8 <= len(c.sequences) <= 12
+
+    def test_ref_pair_members(self, cases):
+        for c in cases:
+            a, b = c.ref_pair
+            assert a in c.sequences and b in c.sequences
+            assert a != b
+
+    def test_reference_consistency(self, cases):
+        for c in cases:
+            un = c.reference.ungapped()
+            for s in c.sequences:
+                assert un[s.id].residues == s.residues
+
+    def test_divergence_sweep(self, cases):
+        assert len({c.relatedness for c in cases}) >= 3
+
+    def test_reference_pair_alignment(self, cases):
+        pair = cases[0].reference_pair_alignment()
+        assert pair.n_rows == 2
+        assert not pair.gap_mask().all(axis=0).any()
+
+    def test_shuffled_presentation(self, cases):
+        # At least one case must present sequences out of generation order.
+        assert any(
+            c.sequences.ids != c.reference.ids for c in cases
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_prefab_like(n_cases=0)
+        with pytest.raises(ValueError):
+            make_prefab_like(seqs_per_case=(5, 3))

@@ -1,0 +1,124 @@
+"""Tests for repro.kmer.rank."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.rose import generate_family
+from repro.kmer.rank import (
+    RankConfig,
+    centralized_rank,
+    globalized_rank,
+    rank_from_fractions,
+)
+from repro.seq.sequence import Sequence
+
+
+class TestRankConfig:
+    def test_defaults(self):
+        cfg = RankConfig()
+        assert cfg.k == 4 and cfg.transform == "neglog"
+
+    def test_bad_offset(self):
+        with pytest.raises(ValueError):
+            RankConfig(offset=0.0)
+
+    def test_bad_transform(self):
+        with pytest.raises(ValueError):
+            RankConfig(transform="exp")
+
+    def test_counter(self):
+        assert RankConfig(k=3).counter().k == 3
+
+
+class TestRankTransform:
+    def test_neglog_monotone_decreasing(self):
+        d = np.array([0.1, 0.4, 0.9])
+        r = rank_from_fractions(d)
+        assert (np.diff(r) < 0).all()
+
+    def test_neglog_range(self):
+        r = rank_from_fractions(np.array([0.0, 1.0]))
+        assert np.isclose(r[0], -np.log(0.1))
+        assert r[1] == 0.0  # clipped at zero (Table 1's minimum)
+
+    def test_literal_log_variant(self):
+        cfg = RankConfig(transform="log")
+        r = rank_from_fractions(np.array([0.0, 1.0]), cfg)
+        assert np.isclose(r[0], np.log(0.1))
+        assert np.isclose(r[1], np.log(1.1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rank_from_fractions(np.array([1.5]))
+
+
+class TestEstimators:
+    def test_globalized_equals_centralized_with_full_sample(self, small_family):
+        seqs = list(small_family.sequences)
+        cfg = RankConfig()
+        central = centralized_rank(seqs, cfg)
+        globalized = globalized_rank(seqs, seqs, cfg)
+        assert np.allclose(central, globalized)
+
+    def test_globalized_tracks_centralized(self):
+        # Composition-diverse input (several families with distinct residue
+        # backgrounds, the paper's "phylogenetically diverse" regime),
+        # sampled the way the algorithm does: regularly from a rank-sorted
+        # list.
+        from repro.datagen.rose import BACKGROUND, RoseParams
+
+        rng = np.random.default_rng(0)
+        seqs = []
+        for f in range(4):
+            bg = rng.dirichlet(BACKGROUND * 30.0 + 1e-3)
+            params = RoseParams(
+                n_sequences=12, mean_length=90, relatedness=500, background=bg
+            )
+            fam = generate_family(
+                seed=f, track_alignment=False, id_prefix=f"f{f}_", params=params
+            )
+            seqs.extend(fam.sequences)
+        cfg = RankConfig()
+        central = centralized_rank(seqs, cfg)
+        order = np.argsort(central)
+        sample = [seqs[int(i)] for i in order[:: max(len(seqs) // 12, 1)]]
+        globalized = globalized_rank(seqs, sample, cfg)
+        corr = np.corrcoef(central, globalized)[0, 1]
+        assert corr > 0.75
+
+    def test_diverse_family_ranks_higher(self):
+        close = generate_family(12, 80, relatedness=80, seed=1,
+                                track_alignment=False)
+        far = generate_family(12, 80, relatedness=900, seed=1,
+                              track_alignment=False)
+        cfg = RankConfig()
+        r_close = centralized_rank(list(close.sequences), cfg).mean()
+        r_far = centralized_rank(list(far.sequences), cfg).mean()
+        assert r_far > r_close
+
+    def test_identical_sequences_rank_zero_ish(self):
+        seqs = [Sequence(f"s{i}", "MKVAWDENQRTS" * 4) for i in range(6)]
+        r = centralized_rank(seqs)
+        # All-identical set: D_i = 1, rank = max(-ln(1.1), 0) = 0.
+        assert np.allclose(r, 0.0)
+
+    def test_include_self_effect(self, small_family):
+        seqs = list(small_family.sequences)
+        with_self = centralized_rank(seqs, RankConfig(include_self=True))
+        without = centralized_rank(seqs, RankConfig(include_self=False))
+        # Excluding the perfect self-match lowers D_i, raising the rank.
+        assert (without >= with_self - 1e-12).all()
+        assert without.mean() > with_self.mean()
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            globalized_rank([Sequence("a", "MKVA")], [])
+
+    def test_empty_sequences(self):
+        assert centralized_rank([]).size == 0
+
+    def test_rank_values_in_table1_range(self, diverse_family):
+        # The paper's Table 1 reports ranks in [0, ~1.46] for divergent
+        # sets; the neglog transform is bounded by -ln(0.1) ~ 2.30.
+        r = centralized_rank(list(diverse_family.sequences))
+        assert (r >= 0).all() and (r <= -np.log(0.1) + 1e-9).all()

@@ -1,0 +1,91 @@
+"""Tests for the quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import qscore, qscore_pair, total_column_score
+from repro.seq.alignment import Alignment
+
+
+def mk(rows, ids=None):
+    ids = ids or [f"r{i}" for i in range(len(rows))]
+    return Alignment.from_rows(ids, rows)
+
+
+class TestQscorePair:
+    def test_identical_alignments(self):
+        a = mk(["MKTA-Y", "MK-AWY"])
+        assert qscore_pair(a, a, "r0", "r1") == 1.0
+
+    def test_completely_wrong(self):
+        ref = mk(["MKV", "MKV"])
+        # Shift one row by three: no reference pair survives.
+        test = mk(["MKV---", "---MKV"])
+        assert qscore_pair(test, ref, "r0", "r1") == 0.0
+
+    def test_half_right(self):
+        ref = mk(["MKVA", "MKVA"])  # four reference pairs
+        test = mk(["MKVA--", "MK--VA"])  # MK aligned, VA shifted
+        assert qscore_pair(test, ref, "r0", "r1") == 0.5
+
+    def test_no_reference_pairs(self):
+        ref = mk(["MK--", "--VA"])
+        test = mk(["MK--", "--VA"])
+        assert qscore_pair(test, ref, "r0", "r1") == 1.0
+
+    def test_missing_row(self):
+        a = mk(["MK", "MV"])
+        with pytest.raises(KeyError):
+            qscore_pair(a, a, "r0", "zz")
+
+    def test_sequence_mismatch_detected(self):
+        ref = mk(["MKV", "MKV"])
+        test = mk(["MKVA", "MKVA"])
+        with pytest.raises(ValueError, match="lengths"):
+            qscore_pair(test, ref, "r0", "r1")
+
+
+class TestQscoreMsa:
+    def test_identical(self):
+        a = mk(["MK-V", "MKAV", "M--V"])
+        assert qscore(a, a) == 1.0
+
+    def test_gap_free_columns_only_counted(self):
+        ref = mk(["MKV", "MKV", "MKV"])
+        test = mk(["MKV--", "MK--V", "--MKV"])
+        # Pairs: (0,1): M,K aligned (2 of 3); (0,2): none of 3; (1,2): V and
+        # ... row1 vs row2: K? row1 cols 0,1,4; row2 cols 2,3,4 -> V aligned.
+        q = qscore(test, ref)
+        assert q == pytest.approx((2 + 0 + 1) / 9)
+
+    def test_requires_two_rows(self):
+        with pytest.raises(ValueError):
+            qscore(mk(["MK"]), mk(["MK"]))
+
+    def test_subset_of_rows(self):
+        ref = mk(["MKV", "MKV", "MKV"])
+        test = mk(["MKV", "MKV"], ids=["r0", "r1"])
+        assert qscore(test, ref) == 1.0
+
+
+class TestTotalColumn:
+    def test_identical(self):
+        a = mk(["MKV", "MLV", "MKV"])
+        assert total_column_score(a, a) == 1.0
+
+    def test_partial(self):
+        ref = mk(["MKV", "MKV"])
+        test = mk(["MKV--", "MK--V"])
+        # Columns M, K reproduced; V split -> 2/3.
+        assert total_column_score(test, ref) == pytest.approx(2 / 3)
+
+    def test_single_residue_columns_skipped(self):
+        ref = mk(["MK-", "M-V"])
+        test = mk(["MK-", "M-V"])
+        # Columns 2 and 3 have only one present row; only column 0 counts.
+        assert total_column_score(test, ref) == 1.0
+
+    def test_worst_case_zero(self):
+        ref = mk(["MKVA", "MKVA"])
+        test = mk(["MKVA----", "----MKVA"])
+        assert total_column_score(test, ref) == 0.0

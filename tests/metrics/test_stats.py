@@ -1,0 +1,76 @@
+"""Tests for repro.metrics.stats."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    ascii_histogram,
+    deviation_stats,
+    histogram_series,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.n == 4
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.mean == 2.5
+        assert s.variance == pytest.approx(1.25)
+        assert s.std == pytest.approx(np.sqrt(1.25))
+
+    def test_row_renders(self):
+        row = summarize(np.array([1.0, 2.0])).row()
+        assert "mean=1.5" in row and "n=2" in row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.zeros(0))
+
+
+class TestDeviationStats:
+    def test_zero_for_identical(self):
+        x = np.array([0.5, 1.0, 1.5])
+        var, std = deviation_stats(x, x)
+        assert var == 0.0 and std == 0.0
+
+    def test_known(self):
+        g = np.array([1.0, 2.0])
+        c = np.array([0.0, 0.0])
+        var, std = deviation_stats(g, c)
+        assert var == pytest.approx(2.5)
+        assert std == pytest.approx(np.sqrt(2.5))
+
+    def test_table1_identity_check(self):
+        # The paper's Table 1: std == sqrt(variance).
+        rng = np.random.default_rng(0)
+        g, c = rng.normal(size=50), rng.normal(size=50)
+        var, std = deviation_stats(g, c)
+        assert std == pytest.approx(np.sqrt(var))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            deviation_stats(np.ones(3), np.ones(4))
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        vals = np.random.default_rng(1).normal(size=200)
+        counts, centers = histogram_series(vals, bins=16)
+        assert counts.sum() == 200
+        assert len(centers) == 16
+
+    def test_fixed_range(self):
+        counts, centers = histogram_series(
+            np.array([0.5]), bins=4, range_=(0.0, 2.0)
+        )
+        assert centers.tolist() == [0.25, 0.75, 1.25, 1.75]
+        assert counts.tolist() == [0, 1, 0, 0]
+
+    def test_ascii_histogram(self):
+        out = ascii_histogram(np.random.default_rng(0).normal(size=100),
+                              bins=8, label="demo")
+        assert "demo" in out
+        assert out.count("\n") == 8  # label + 8 bins
+        assert "#" in out

@@ -1,0 +1,102 @@
+"""Tests for repro.parcomp.cost."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.parcomp.cost import CommEvent, CostModel, TimingLedger, estimate_nbytes
+from repro.seq.alignment import Alignment
+from repro.seq.sequence import Sequence
+
+
+class TestCostModel:
+    def test_message_cost(self):
+        cm = CostModel(alpha=1e-4, beta=1e-8)
+        assert cm.message_cost(0) == pytest.approx(1e-4)
+        assert cm.message_cost(10**8) == pytest.approx(1e-4 + 1.0)
+
+    def test_negative_bytes_clamped(self):
+        cm = CostModel(alpha=1e-4, beta=1e-8)
+        assert cm.message_cost(-5) == pytest.approx(1e-4)
+
+
+class TestEstimateNbytes:
+    def test_scalars(self):
+        assert estimate_nbytes(5) == 8
+        assert estimate_nbytes(2.5) == 8
+        assert estimate_nbytes(True) == 8
+        assert estimate_nbytes(None) == 1
+
+    def test_strings_bytes(self):
+        assert estimate_nbytes("hello") == 5
+        assert estimate_nbytes(b"abc") == 3
+
+    def test_ndarray(self):
+        a = np.zeros(10, dtype=np.float64)
+        assert estimate_nbytes(a) == 80
+
+    def test_sequence(self):
+        s = Sequence("id1", "MKVAW")
+        assert estimate_nbytes(s) >= 5
+
+    def test_alignment(self):
+        aln = Alignment.from_rows(["a", "b"], ["MK", "MV"])
+        assert estimate_nbytes(aln) >= 4
+
+    def test_containers(self):
+        assert estimate_nbytes([1, 2]) == 16 + 16
+        assert estimate_nbytes({"k": 1}) == 16 + 1 + 8
+
+    def test_dataclass(self):
+        @dataclass
+        class Thing:
+            a: int
+            b: str
+
+        assert estimate_nbytes(Thing(1, "xy")) == 16 + 8 + 2
+
+    def test_fallback_pickle(self):
+        class Odd:
+            pass
+
+        assert estimate_nbytes(Odd()) > 0
+
+
+class TestLedger:
+    def mk(self):
+        ledger = TimingLedger(3, CostModel(alpha=1e-4, beta=1e-9))
+        ledger.events = [
+            CommEvent("send", 0, 1, 100, 0),
+            CommEvent("bcast", 0, 2, 50, 1),
+            CommEvent("send", 1, 2, 25, 0),
+        ]
+        ledger.compute[:] = [1.0, 2.0, 3.0]
+        ledger.clock[:] = [1.5, 2.5, 3.5]
+        return ledger
+
+    def test_totals(self):
+        ledger = self.mk()
+        assert ledger.total_bytes() == 175
+        assert ledger.total_bytes("send") == 125
+        assert ledger.n_messages() == 3
+        assert ledger.n_messages("bcast") == 1
+
+    def test_modeled_time(self):
+        assert self.mk().modeled_time() == 3.5
+
+    def test_compute_stats(self):
+        ledger = self.mk()
+        assert ledger.total_compute() == 6.0
+        assert ledger.max_compute() == 3.0
+        assert ledger.load_balance() == pytest.approx(1.5)
+
+    def test_bytes_by_kind(self):
+        assert self.mk().bytes_by_kind() == {"send": 125, "bcast": 50}
+
+    def test_modeled_comm_time(self):
+        ledger = self.mk()
+        expected = sum(
+            1e-4 + 1e-9 * e.nbytes for e in ledger.events
+        )
+        assert ledger.modeled_comm_time() == pytest.approx(expected)

@@ -1,0 +1,56 @@
+"""Tests for the trace rendering (repro.parcomp.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.parcomp import run_spmd
+from repro.parcomp.trace import render_timeline, render_traffic, traffic_matrix
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    def prog(comm):
+        comm.send(np.zeros(64), (comm.rank + 1) % comm.size, tag=1)
+        comm.recv((comm.rank - 1) % comm.size, tag=1)
+        comm.bcast("x" * 100 if comm.rank == 0 else None, root=0)
+        comm.barrier()
+
+    return run_spmd(4, prog).ledger
+
+
+class TestTrafficMatrix:
+    def test_shape_and_totals(self, ledger):
+        m = traffic_matrix(ledger)
+        assert m.shape == (4, 4)
+        assert m.sum() == ledger.total_bytes()
+
+    def test_ring_pattern_present(self, ledger):
+        m = traffic_matrix(ledger)
+        for r in range(4):
+            assert m[r, (r + 1) % 4] >= 512  # the 64-double ring send
+
+    def test_no_self_messages(self, ledger):
+        m = traffic_matrix(ledger)
+        assert np.trace(m) == 0
+
+
+class TestRenderers:
+    def test_timeline_one_line_per_rank(self, ledger):
+        out = render_timeline(ledger)
+        lines = out.splitlines()
+        assert len(lines) == 1 + 4
+        assert all(l.startswith("rank") for l in lines[1:])
+
+    def test_timeline_shows_sends(self, ledger):
+        out = render_timeline(ledger)
+        assert "s" in out  # ring sends
+        assert "b" in out  # broadcast
+
+    def test_timeline_events_have_clocks(self, ledger):
+        assert all(e.send_clock >= 0 for e in ledger.events)
+        assert any(e.send_clock > 0 for e in ledger.events)
+
+    def test_traffic_renders(self, ledger):
+        out = render_traffic(ledger)
+        assert "src\\dst" in out
+        assert str(ledger.total_bytes()) in out

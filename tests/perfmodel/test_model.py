@@ -1,0 +1,91 @@
+"""Tests for the calibrated performance model."""
+
+import numpy as np
+import pytest
+
+from repro.parcomp.cost import CostModel
+from repro.perfmodel import (
+    KernelCoefficients,
+    calibrate_kernels,
+    predict_sequential_time,
+    predict_stage_times,
+    predict_total_time,
+    speedup_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def coeffs():
+    return calibrate_kernels(lengths=(50, 80), widths=(6, 12, 20))
+
+
+class TestCalibration:
+    def test_positive_coefficients(self, coeffs):
+        assert coeffs.a_cnt > 0 and coeffs.a_pair > 0
+        assert coeffs.d_dist > 0 and coeffs.d_prof > 0
+        assert coeffs.d_tweak > 0
+        assert coeffs.d_quart == 0.0
+
+    def test_prediction_tracks_measurement(self, coeffs):
+        """The model must predict the calibrated regime within ~3x."""
+        import time
+
+        from repro.datagen.rose import generate_family
+        from repro.msa.muscle import MuscleLike
+
+        fam = generate_family(16, 70, relatedness=500, seed=3,
+                              track_alignment=False)
+        t0 = time.perf_counter()
+        MuscleLike(two_stage=False, refine=False).align(fam.sequences)
+        measured = time.perf_counter() - t0
+        predicted = coeffs.d_dist * 16**2 * 70 + coeffs.d_prof * 16 * 70**2
+        assert predicted / 3 <= measured <= predicted * 3
+
+
+class TestPredictions:
+    def test_time_decreases_with_p(self, coeffs):
+        times = [
+            predict_total_time(2000, p, 300, coeffs) for p in (1, 2, 4, 8, 16)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_superlinear_speedup(self, coeffs):
+        s = speedup_curve(5000, 300, [2, 4, 8, 16], coeffs)
+        assert (s > np.array([2, 4, 8, 16])).all()
+
+    def test_speedup_monotone(self, coeffs):
+        s = speedup_curve(5000, 300, [2, 4, 8, 16], coeffs)
+        assert (np.diff(s) > 0).all()
+
+    def test_paper_mode_quartic(self, coeffs):
+        t_plain = predict_total_time(2000, 4, 300, coeffs)
+        t_paper = predict_total_time(2000, 4, 300, coeffs, paper_mode=True)
+        assert t_paper > t_plain
+
+    def test_sequential_dominates_parallel(self, coeffs):
+        t_seq = predict_sequential_time(2000, 316, coeffs)
+        t_par = predict_total_time(2000, 16, 316, coeffs)
+        assert t_seq / t_par > 10  # the Fig. 6 regime (paper: ~142x)
+
+    def test_stage_breakdown(self, coeffs):
+        st = predict_stage_times(1000, 8, 300, coeffs)
+        assert st.total == pytest.approx(st.compute + st.comm)
+        assert "bucket_align" in st.stages
+        assert st.stages["bucket_align"] > 0
+        assert "comm_redistribute" in st.stages
+        assert "TOTAL" in st.table()
+
+    def test_single_proc_has_no_comm(self, coeffs):
+        st = predict_stage_times(1000, 1, 300, coeffs)
+        assert st.comm == 0.0
+
+    def test_comm_scales_with_cost_model(self, coeffs):
+        fast = CostModel(alpha=1e-6, beta=1e-9)
+        slow = CostModel(alpha=1e-2, beta=1e-6)
+        t_fast = predict_stage_times(1000, 8, 300, coeffs, fast).comm
+        t_slow = predict_stage_times(1000, 8, 300, coeffs, slow).comm
+        assert t_slow > t_fast
+
+    def test_with_quartic_reference(self):
+        c = KernelCoefficients().with_quartic(w_ref=100, L_ref=300)
+        assert c.d_quart > 0

@@ -1,0 +1,86 @@
+"""Tests for the capacity-planning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parcomp.cost import CostModel
+from repro.perfmodel import (
+    KernelCoefficients,
+    breakeven_n,
+    comm_compute_crossover,
+    efficiency_curve,
+    optimal_processors,
+    predict_total_time,
+)
+
+
+@pytest.fixture(scope="module")
+def coeffs():
+    # Synthetic but realistic constants; planning logic must not depend
+    # on host timing.
+    return KernelCoefficients(
+        a_cnt=5e-7, a_pair=2e-6, d_dist=2e-7, d_prof=1e-7, d_tweak=5e-8
+    )
+
+
+class TestOptimalProcessors:
+    def test_larger_n_wants_more_procs(self, coeffs):
+        slow_net = CostModel(alpha=5e-3, beta=1e-6)
+        p_small = optimal_processors(200, 200, coeffs, 64, slow_net)
+        p_large = optimal_processors(20000, 200, coeffs, 64, slow_net)
+        assert p_large >= p_small
+
+    def test_is_argmin(self, coeffs):
+        cm = CostModel(alpha=1e-3, beta=1e-7)
+        p_star = optimal_processors(1000, 150, coeffs, 32, cm)
+        t_star = predict_total_time(1000, p_star, 150, coeffs, cm)
+        for p in (1, 2, 4, 8, 16, 32):
+            assert t_star <= predict_total_time(1000, p, 150, coeffs, cm) + 1e-12
+
+    def test_validation(self, coeffs):
+        with pytest.raises(ValueError):
+            optimal_processors(100, 100, coeffs, max_procs=0)
+
+
+class TestEfficiency:
+    def test_superlinear_efficiency_above_one(self, coeffs):
+        eff = efficiency_curve(20000, 300, [2, 4, 8], coeffs)
+        assert (eff > 1.0).all()
+
+    def test_small_n_efficiency_decays(self, coeffs):
+        slow_net = CostModel(alpha=1e-2, beta=1e-5)
+        eff = efficiency_curve(64, 100, [2, 8, 32], coeffs, slow_net)
+        assert eff[-1] < eff[0]
+
+
+class TestCrossover:
+    def test_crossover_exists_with_slow_network(self, coeffs):
+        slow = CostModel(alpha=0.5, beta=1e-4)
+        p = comm_compute_crossover(500, 200, coeffs, cost_model=slow)
+        assert p < 4096
+
+    def test_fast_network_pushes_crossover_out(self, coeffs):
+        fast = CostModel(alpha=1e-7, beta=1e-11)
+        slow = CostModel(alpha=0.5, beta=1e-4)
+        p_fast = comm_compute_crossover(5000, 300, coeffs, cost_model=fast)
+        p_slow = comm_compute_crossover(5000, 300, coeffs, cost_model=slow)
+        assert p_fast >= p_slow
+
+
+class TestBreakeven:
+    def test_breakeven_found(self, coeffs):
+        n = breakeven_n(16, 300, coeffs)
+        assert 2 <= n < 1 << 20
+        # At the breakeven N the parallel run indeed wins.
+        from repro.perfmodel import predict_sequential_time
+
+        assert predict_total_time(n, 16, 300, coeffs) < (
+            predict_sequential_time(n, 300, coeffs)
+        )
+
+    def test_monotone_in_network_speed(self, coeffs):
+        fast = CostModel(alpha=1e-7, beta=1e-11)
+        slow = CostModel(alpha=1e-1, beta=1e-5)
+        assert breakeven_n(8, 300, coeffs, fast) <= breakeven_n(
+            8, 300, coeffs, slow
+        )

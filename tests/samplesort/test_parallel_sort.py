@@ -1,0 +1,78 @@
+"""Tests for the PSRS parallel sort over the virtual cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parcomp import run_spmd
+from repro.samplesort import max_bucket_bound, parallel_sample_sort
+
+
+def sort_distributed(blocks):
+    """Run PSRS over len(blocks) ranks; return concatenated output."""
+    res = run_spmd(
+        len(blocks),
+        lambda comm, local: parallel_sample_sort(comm, local),
+        rank_args=[(b,) for b in blocks],
+    )
+    return res.results
+
+
+class TestParallelSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_sorts_uniform(self, p):
+        rng = np.random.default_rng(p)
+        blocks = [rng.normal(size=50) for _ in range(p)]
+        parts = sort_distributed(blocks)
+        merged = np.concatenate(parts)
+        assert np.array_equal(merged, np.sort(np.concatenate(blocks)))
+
+    def test_sorts_skewed(self):
+        rng = np.random.default_rng(0)
+        blocks = [
+            rng.normal(0, 0.01, 64),
+            rng.normal(5, 2.0, 64),
+            np.full(64, 3.0),
+            rng.uniform(-10, 10, 64),
+        ]
+        parts = sort_distributed(blocks)
+        merged = np.concatenate(parts)
+        assert np.array_equal(merged, np.sort(np.concatenate(blocks)))
+
+    def test_bucket_bound_respected(self):
+        rng = np.random.default_rng(7)
+        p = 4
+        blocks = [rng.normal(size=256) for _ in range(p)]
+        parts = sort_distributed(blocks)
+        bound = max_bucket_bound(p * 256, p)
+        assert max(len(x) for x in parts) <= bound
+
+    def test_empty_rank(self):
+        blocks = [np.arange(10.0), np.zeros(0), np.arange(-5.0, 0.0)]
+        parts = sort_distributed(blocks)
+        merged = np.concatenate(parts)
+        assert np.array_equal(merged, np.sort(np.concatenate(blocks)))
+
+    def test_with_key_function(self):
+        blocks = [
+            np.array(["bb", "a", "cccc"], dtype=object),
+            np.array(["eeeee", "ddd"], dtype=object),
+        ]
+        res = run_spmd(
+            2,
+            lambda comm, local: parallel_sample_sort(comm, local, key=len),
+            rank_args=[(b,) for b in blocks],
+        )
+        merged = [x for part in res.results for x in part]
+        assert merged == ["a", "bb", "ddd", "cccc", "eeeee"]
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=120))
+    @settings(max_examples=15)
+    def test_permutation_property(self, vals):
+        p = 3
+        arr = np.array(vals, dtype=float)
+        blocks = np.array_split(arr, p)
+        parts = sort_distributed(list(blocks))
+        merged = np.concatenate(parts) if parts else np.zeros(0)
+        assert np.array_equal(np.sort(arr), merged)

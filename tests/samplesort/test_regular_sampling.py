@@ -1,0 +1,143 @@
+"""Tests for repro.samplesort.regular_sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.samplesort.regular_sampling import (
+    bucket_assignments,
+    choose_pivots,
+    max_bucket_bound,
+    regular_sample,
+)
+
+
+class TestRegularSample:
+    def test_count(self):
+        keys = np.arange(100)
+        assert regular_sample(keys, 3).size == 3
+
+    def test_evenly_spaced(self):
+        keys = np.arange(100)
+        s = regular_sample(keys, 3)
+        assert s.tolist() == [25, 50, 75]
+
+    def test_never_extremes(self):
+        keys = np.arange(10)
+        s = regular_sample(keys, 2)
+        assert 0 not in s
+
+    def test_small_input_returns_all(self):
+        keys = np.array([5.0, 7.0])
+        assert regular_sample(keys, 5).tolist() == [5.0, 7.0]
+
+    def test_zero_k(self):
+        assert regular_sample(np.arange(10), 0).size == 0
+
+    def test_empty(self):
+        assert regular_sample(np.zeros(0), 3).size == 0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            regular_sample(np.arange(5), -1)
+
+    @given(st.integers(1, 200), st.integers(1, 20))
+    def test_samples_are_sorted_subset(self, n, k):
+        keys = np.sort(np.random.default_rng(n * 31 + k).normal(size=n))
+        s = regular_sample(keys, k)
+        assert s.size == min(n, k)
+        assert (np.diff(s) >= 0).all()
+        assert np.isin(s, keys).all()
+
+
+class TestChoosePivots:
+    def test_count(self):
+        p = 4
+        samples = np.random.default_rng(0).normal(size=p * (p - 1))
+        piv = choose_pivots(samples, p)
+        assert piv.size == p - 1
+        assert (np.diff(piv) >= 0).all()
+
+    def test_p_one(self):
+        assert choose_pivots(np.arange(5), 1).size == 0
+
+    def test_empty_samples(self):
+        assert choose_pivots(np.zeros(0), 4).size == 0
+
+    def test_paper_positions(self):
+        # p=4: sorted 12 samples, pivots at positions 2, 6, 10.
+        samples = np.arange(12)
+        piv = choose_pivots(samples, 4)
+        assert piv.tolist() == [2, 6, 10]
+
+    def test_degenerate_small_sample(self):
+        piv = choose_pivots(np.array([1.0, 2.0, 3.0]), 4)
+        assert piv.size == 3
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            choose_pivots(np.arange(5), 0)
+
+
+class TestBucketAssignments:
+    def test_boundaries(self):
+        pivots = np.array([10.0, 20.0])
+        keys = np.array([5.0, 10.0, 15.0, 20.0, 25.0])
+        b = bucket_assignments(keys, pivots)
+        # Keys equal to a pivot go to the lower bucket (side='left').
+        assert b.tolist() == [0, 0, 1, 1, 2]
+
+    def test_empty_pivots_single_bucket(self):
+        assert bucket_assignments(np.arange(4), np.zeros(0)).tolist() == [0] * 4
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=60),
+        st.integers(2, 8),
+    )
+    def test_range_property(self, vals, p):
+        keys = np.array(vals)
+        samples = regular_sample(np.sort(keys), p - 1)
+        pivots = choose_pivots(samples, p)
+        b = bucket_assignments(keys, pivots)
+        assert (b >= 0).all() and (b < p).all()
+        # Monotone: a larger key never lands in a smaller bucket.
+        order = np.argsort(keys, kind="stable")
+        assert (np.diff(b[order]) >= 0).all()
+
+
+class TestBound:
+    def test_formula(self):
+        assert max_bucket_bound(100, 4) == 50
+        assert max_bucket_bound(101, 4) == 52
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            max_bucket_bound(10, 0)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_bound_holds_for_full_psrs(self, seed):
+        """The 2N/p guarantee under adversarially skewed data."""
+        rng = np.random.default_rng(seed)
+        p = int(rng.integers(2, 6))
+        n_per = int(rng.integers(p, 40))
+        # Skewed mixture: half the mass near 0, half spread out.
+        blocks = []
+        for _ in range(p):
+            mode = rng.random()
+            if mode < 0.5:
+                blocks.append(rng.normal(0, 0.01, n_per))
+            else:
+                blocks.append(rng.normal(rng.uniform(-5, 5), 1.0, n_per))
+        all_samples = np.concatenate(
+            [regular_sample(np.sort(b), p - 1) for b in blocks]
+        )
+        pivots = choose_pivots(all_samples, p)
+        counts = np.zeros(p, dtype=int)
+        for b in blocks:
+            assign = bucket_assignments(b, pivots)
+            counts += np.bincount(assign, minlength=p)
+        n_total = p * n_per
+        # PSRS guarantee requires each rank to contribute p-1 samples;
+        # ties can push one over, hence the +p slack on tiny inputs.
+        assert counts.max() <= max_bucket_bound(n_total, p) + p

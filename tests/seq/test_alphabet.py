@@ -1,0 +1,163 @@
+"""Tests for repro.seq.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq.alphabet import (
+    DAYHOFF6,
+    DNA,
+    MURPHY10,
+    PROTEIN,
+    SE_B14,
+    Alphabet,
+    CompressedAlphabet,
+    compressed_alphabets,
+)
+
+
+class TestAlphabetBasics:
+    def test_protein_size(self):
+        assert PROTEIN.size == 21
+        assert len(PROTEIN) == 21
+
+    def test_gap_code_is_one_past_last(self):
+        assert PROTEIN.gap_code == PROTEIN.size
+        assert DNA.gap_code == DNA.size
+
+    def test_contains(self):
+        assert "A" in PROTEIN
+        assert "-" not in PROTEIN
+
+    def test_index(self):
+        assert PROTEIN.index("A") == 0
+        assert PROTEIN.index("R") == 1
+        assert PROTEIN.index("X") == 20
+
+    def test_index_alias(self):
+        assert PROTEIN.index("B") == PROTEIN.index("D")
+        assert PROTEIN.index("Z") == PROTEIN.index("E")
+        assert PROTEIN.index("U") == PROTEIN.index("C")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet("bad", "AAB")
+
+    def test_gap_symbol_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            Alphabet("bad", "AB-")
+
+    def test_wildcard_must_be_symbol(self):
+        with pytest.raises(ValueError, match="wildcard"):
+            Alphabet("bad", "AB", wildcard="Z")
+
+    def test_equality_and_hash(self):
+        a = Alphabet("x", "ABC")
+        b = Alphabet("x", "ABC")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Alphabet("y", "ABC")
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        text = "ACDEFGHIKLMNPQRSTVWY"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    def test_lowercase_input(self):
+        assert np.array_equal(PROTEIN.encode("acd"), PROTEIN.encode("ACD"))
+
+    def test_gap_encoding(self):
+        codes = PROTEIN.encode("A-C")
+        assert codes[1] == PROTEIN.gap_code
+
+    def test_dot_is_gap(self):
+        codes = PROTEIN.encode("A.C")
+        assert codes[1] == PROTEIN.gap_code
+
+    def test_gaps_disallowed(self):
+        with pytest.raises(ValueError, match="gap"):
+            PROTEIN.encode("A-C", allow_gaps=False)
+
+    def test_unknown_maps_to_wildcard(self):
+        codes = PROTEIN.encode("A?C")
+        assert codes[1] == PROTEIN.index("X")
+
+    def test_unknown_without_wildcard_raises(self):
+        plain = Alphabet("plain", "AB")
+        with pytest.raises(ValueError, match="not in alphabet"):
+            plain.encode("AZB")
+
+    def test_alias_encoding(self):
+        codes = PROTEIN.encode("BZ")
+        assert codes[0] == PROTEIN.index("D")
+        assert codes[1] == PROTEIN.index("E")
+
+    def test_decode_gap(self):
+        assert PROTEIN.decode(np.array([0, PROTEIN.gap_code])) == "A-"
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PROTEIN.decode(np.array([PROTEIN.gap_code + 1]))
+
+    def test_empty(self):
+        assert PROTEIN.encode("").size == 0
+        assert PROTEIN.decode(np.zeros(0, dtype=np.uint8)) == ""
+
+    @given(st.text(alphabet="ARNDCQEGHILKMFPSTWYV", max_size=200))
+    def test_roundtrip_property(self, text):
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    def test_background_frequencies(self):
+        bg = PROTEIN.background_frequencies()
+        assert bg.shape == (21,)
+        assert np.isclose(bg.sum(), 1.0)
+
+
+class TestCompressedAlphabets:
+    def test_registry(self):
+        reg = compressed_alphabets()
+        assert set(reg) == {"dayhoff6", "murphy10", "se_b14"}
+
+    @pytest.mark.parametrize("alpha", [DAYHOFF6, MURPHY10, SE_B14])
+    def test_groups_partition_parent(self, alpha):
+        covered = "".join(alpha.groups)
+        assert sorted(covered) == sorted(PROTEIN.symbols)
+
+    def test_dayhoff_size(self):
+        assert DAYHOFF6.size == 7  # 6 classes + X class
+
+    def test_projection_matches_encoding(self):
+        text = "ARNDCQEGHILKMFPSTWYVX"
+        direct = DAYHOFF6.encode(text)
+        projected = DAYHOFF6.project(PROTEIN.encode(text))
+        assert np.array_equal(direct, projected)
+
+    def test_projection_gap(self):
+        assert DAYHOFF6.project(
+            np.array([PROTEIN.gap_code], dtype=np.uint8)
+        )[0] == DAYHOFF6.gap_code
+
+    def test_same_group_same_code(self):
+        assert DAYHOFF6.index("D") == DAYHOFF6.index("E") == DAYHOFF6.index("N")
+        assert MURPHY10.index("L") == MURPHY10.index("V")
+
+    def test_different_groups_differ(self):
+        assert DAYHOFF6.index("C") != DAYHOFF6.index("A")
+
+    def test_parent_alias_survives(self):
+        # B aliases to D in the parent; D is in the DENQ group.
+        assert DAYHOFF6.index("B") == DAYHOFF6.index("D")
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError, match="two groups"):
+            CompressedAlphabet("bad", PROTEIN, ["AC", "CD", "X"])
+
+    def test_incomplete_groups_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            CompressedAlphabet("bad", PROTEIN, ["A", "X"])
+
+    def test_unknown_residue_in_group_rejected(self):
+        with pytest.raises(ValueError, match="not in parent"):
+            CompressedAlphabet("bad", PROTEIN, ["A?", "X"])

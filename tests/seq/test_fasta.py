@@ -1,0 +1,83 @@
+"""Tests for repro.seq.fasta."""
+
+import pytest
+
+from repro.seq.fasta import (
+    parse_fasta,
+    parse_fasta_alignment,
+    read_fasta,
+    to_fasta,
+    write_fasta,
+)
+from repro.seq.sequence import Sequence, SequenceSet
+
+
+SAMPLE = """>s1 first protein
+MKTAYIAK
+QRQISFVK
+>s2
+MKVA
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        ss = parse_fasta(SAMPLE)
+        assert ss.ids == ["s1", "s2"]
+        assert ss["s1"].residues == "MKTAYIAKQRQISFVK"
+        assert ss["s2"].residues == "MKVA"
+
+    def test_description(self):
+        ss = parse_fasta(SAMPLE)
+        assert ss["s1"].description == "first protein"
+        assert ss["s2"].description == ""
+
+    def test_blank_lines_ignored(self):
+        ss = parse_fasta(">a\n\nMK\n\n>b\nMV\n\n")
+        assert ss.ids == ["a", "b"]
+
+    def test_gaps_stripped_for_sequences(self):
+        ss = parse_fasta(">a\nM-K.V\n")
+        assert ss["a"].residues == "MKV"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_fasta("MKV\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError, match="empty header"):
+            parse_fasta(">\nMKV\n")
+
+    def test_empty_text(self):
+        assert len(parse_fasta("")) == 0
+
+    def test_alignment_parse(self):
+        aln = parse_fasta_alignment(">a\nM-K\n>b\nMVK\n")
+        assert aln.n_rows == 2 and aln.n_columns == 3
+        assert aln.row_text("a") == "M-K"
+
+    def test_alignment_parse_unequal_rejected(self):
+        with pytest.raises(ValueError, match="differing"):
+            parse_fasta_alignment(">a\nM-K\n>b\nMV\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        ss = SequenceSet(
+            [Sequence("a", "MKV" * 30, description="x y"), Sequence("b", "MK")]
+        )
+        again = parse_fasta(to_fasta(ss))
+        assert again.ids == ss.ids
+        assert again["a"].residues == ss["a"].residues
+        assert again["a"].description == "x y"
+
+    def test_wrapping(self):
+        text = to_fasta([Sequence("a", "M" * 125)], width=50)
+        lines = text.splitlines()
+        assert [len(l) for l in lines[1:]] == [50, 50, 25]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        ss = SequenceSet([Sequence("a", "MKVA")])
+        write_fasta(path, ss)
+        assert read_fasta(path)["a"].residues == "MKVA"

@@ -1,0 +1,99 @@
+"""Tests for the CLUSTAL and PHYLIP formats (repro.seq.formats)."""
+
+import pytest
+
+from repro.seq.alignment import Alignment
+from repro.seq.formats import (
+    parse_clustal,
+    parse_phylip,
+    read_clustal,
+    to_clustal,
+    to_phylip,
+    write_clustal,
+)
+
+
+def mk(rows, ids=None):
+    ids = ids or [f"r{i}" for i in range(len(rows))]
+    return Alignment.from_rows(ids, rows)
+
+
+class TestClustal:
+    def test_roundtrip(self):
+        aln = mk(["MKTAYI-KQR" * 8, "MKTAYIAKQR" * 8, "MK-AYIAKQR" * 8])
+        again = parse_clustal(to_clustal(aln))
+        assert again == aln
+
+    def test_header_present(self):
+        assert to_clustal(mk(["MK"])).startswith("CLUSTAL")
+
+    def test_conservation_symbols(self):
+        text = to_clustal(mk(["MKV", "MKV"]))
+        # Identical columns must be starred.
+        star_line = [l for l in text.splitlines() if "*" in l]
+        assert star_line and star_line[0].strip() == "***"
+
+    def test_strong_group_symbol(self):
+        # I/V are in the MILV strong group.
+        text = to_clustal(mk(["MIV", "MVV"]))
+        cons = [l for l in text.splitlines() if set(l.strip()) <= set("*:. ")
+                and l.strip()]
+        assert cons[0].strip()[1] == ":"
+
+    def test_gap_column_blank(self):
+        text = to_clustal(mk(["M-V", "MKV"]))
+        cons = [l for l in text.splitlines()
+                if l.strip() and set(l.strip()) <= set("*:. ")]
+        assert len(cons[0].strip()) < 3 or cons[0][1] == " "
+
+    def test_wraps_long_alignments(self):
+        aln = mk(["M" * 150, "M" * 150])
+        text = to_clustal(aln, width=60)
+        occurrences = sum(1 for l in text.splitlines() if l.startswith("r0"))
+        assert occurrences == 3
+
+    def test_not_clustal_rejected(self):
+        with pytest.raises(ValueError, match="CLUSTAL"):
+            parse_clustal(">fasta\nMKV\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_clustal("CLUSTAL W header only\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        aln = mk(["MK-V", "MKAV"])
+        path = tmp_path / "x.aln"
+        write_clustal(path, aln)
+        assert read_clustal(path) == aln
+
+
+class TestPhylip:
+    def test_roundtrip(self):
+        aln = mk(["MKTAYI-KQR", "MKTAYIAKQR"])
+        again = parse_phylip(to_phylip(aln))
+        assert again.n_rows == 2
+        assert again.row_text(0) == aln.row_text(0)
+
+    def test_header_counts(self):
+        text = to_phylip(mk(["MKV", "MLV"]))
+        assert text.splitlines()[0].split() == ["2", "3"]
+
+    def test_name_truncation_disambiguated(self):
+        aln = mk(["MKV", "MLV"],
+                 ids=["averylongname_one", "averylongname_two"])
+        again = parse_phylip(to_phylip(aln))
+        assert len(set(again.ids)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            to_phylip(mk([], ids=[]))
+        with pytest.raises(ValueError):
+            parse_phylip("")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_phylip("not a header\nABC\n")
+
+    def test_column_mismatch_detected(self):
+        with pytest.raises(ValueError, match="columns"):
+            parse_phylip(" 1 5\nname      MKV\n")

@@ -1,0 +1,146 @@
+"""Tests for repro.seq.sequence."""
+
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import DAYHOFF6, DNA, PROTEIN
+from repro.seq.sequence import Sequence, SequenceSet
+
+
+class TestSequence:
+    def test_basic(self):
+        s = Sequence("a", "MKV")
+        assert len(s) == 3
+        assert s.residues == "MKV"
+        assert s.alphabet == PROTEIN
+
+    def test_gaps_stripped(self):
+        assert Sequence("a", "M-K.V").residues == "MKV"
+
+    def test_uppercased(self):
+        assert Sequence("a", "mkv").residues == "MKV"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="id"):
+            Sequence("", "MKV")
+
+    def test_codes_cached_and_readonly(self):
+        s = Sequence("a", "MKV")
+        c1 = s.codes
+        assert c1 is s.codes
+        with pytest.raises(ValueError):
+            c1[0] = 0
+
+    def test_codes_values(self):
+        s = Sequence("a", "AR")
+        assert list(s.codes) == [PROTEIN.index("A"), PROTEIN.index("R")]
+
+    def test_encoded_other_alphabet(self):
+        s = Sequence("a", "DEN")
+        proj = s.encoded(DAYHOFF6)
+        assert len(set(proj.tolist())) == 1  # all in the DENQ class
+
+    def test_equality(self):
+        assert Sequence("a", "MKV") == Sequence("a", "MKV")
+        assert Sequence("a", "MKV") != Sequence("b", "MKV")
+        assert Sequence("a", "MKV") != Sequence("a", "MKL")
+
+    def test_iteration_and_indexing(self):
+        s = Sequence("a", "MKV")
+        assert list(s) == ["M", "K", "V"]
+        assert s[1] == "K"
+        assert s[1:] == "KV"
+
+    def test_with_id(self):
+        s = Sequence("a", "MKV", description="desc")
+        t = s.with_id("b")
+        assert t.id == "b" and t.residues == "MKV" and t.description == "desc"
+
+    def test_dna_sequence(self):
+        s = Sequence("a", "ACGU", alphabet=DNA)
+        assert s.codes[3] == DNA.index("T")  # U aliases to T
+
+
+class TestSequenceSet:
+    def _mk(self, n=5, L=4):
+        return SequenceSet(
+            Sequence(f"s{i}", "ACDE"[: L - 1] + "KRHW"[i % 4]) for i in range(n)
+        )
+
+    def test_len_iter(self):
+        ss = self._mk(5)
+        assert len(ss) == 5
+        assert [s.id for s in ss] == [f"s{i}" for i in range(5)]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SequenceSet([Sequence("a", "MK"), Sequence("a", "MV")])
+
+    def test_indexing(self):
+        ss = self._mk(5)
+        assert ss[0].id == "s0"
+        assert ss["s3"].id == "s3"
+        assert ss[1:3].ids == ["s1", "s2"]
+        assert ss[[0, 4]].ids == ["s0", "s4"]
+        assert ss[np.array([2, 1])].ids == ["s2", "s1"]
+
+    def test_contains(self):
+        ss = self._mk(3)
+        assert "s1" in ss and "zz" not in ss
+
+    def test_lengths_stats(self):
+        ss = SequenceSet([Sequence("a", "MK"), Sequence("b", "MKVA")])
+        assert list(ss.lengths()) == [2, 4]
+        assert ss.mean_length() == 3.0
+        assert ss.max_length() == 4
+
+    def test_empty_stats(self):
+        ss = SequenceSet()
+        assert ss.mean_length() == 0.0
+        assert ss.max_length() == 0
+
+    def test_add_extend(self):
+        ss = self._mk(2)
+        ss.add(Sequence("new", "MK"))
+        assert "new" in ss
+        with pytest.raises(ValueError, match="duplicate"):
+            ss.add(Sequence("new", "MK"))
+        ss.extend([Sequence("n2", "MK")])
+        assert len(ss) == 4
+
+    def test_subset(self):
+        ss = self._mk(6)
+        sub = ss.subset(lambda s: s.id.endswith(("0", "2")))
+        assert sub.ids == ["s0", "s2"]
+
+    def test_sample_deterministic(self):
+        ss = self._mk(10)
+        a = ss.sample(4, np.random.default_rng(0))
+        b = ss.sample(4, np.random.default_rng(0))
+        assert a.ids == b.ids
+        assert len(a) == 4
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError, match="sample"):
+            self._mk(3).sample(4, np.random.default_rng(0))
+
+    def test_split_near_equal(self):
+        ss = self._mk(10)
+        parts = ss.split(3)
+        assert sorted(len(p) for p in parts) == [3, 3, 4]
+        assert sum((p.ids for p in parts), []) == ss.ids
+
+    def test_split_more_parts_than_items(self):
+        parts = self._mk(2).split(4)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            self._mk(2).split(0)
+
+    def test_reordered(self):
+        ss = self._mk(3)
+        r = ss.reordered(["s2", "s0", "s1"])
+        assert r.ids == ["s2", "s0", "s1"]
+        with pytest.raises(ValueError, match="permutation"):
+            ss.reordered(["s0", "s1"])

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seq.fasta import read_fasta, to_fasta, write_fasta
+from repro.seq.sequence import Sequence, SequenceSet
+
+
+@pytest.fixture()
+def fasta_file(tmp_path):
+    path = tmp_path / "in.fasta"
+    seqs = SequenceSet(
+        [
+            Sequence("a", "MKTAYIAKQRQISFVKSHFSRQ"),
+            Sequence("b", "MKTAYIAKQRQISFVKHFSRQ"),
+            Sequence("c", "MKTAYIARQRQISFVKSHFSR"),
+            Sequence("d", "MTAYIAKQRQISFVKSHFSRQ"),
+        ]
+    )
+    write_fasta(path, seqs)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "x.fasta"])
+        assert args.procs == 4 and args.aligner is None
+
+
+class TestCommands:
+    def test_aligners_lists_registry(self, capsys):
+        assert main(["aligners"]) == 0
+        out = capsys.readouterr().out
+        assert "muscle" in out and "tcoffee" in out
+
+    def test_generate(self, tmp_path):
+        out = tmp_path / "fam.fasta"
+        ref = tmp_path / "ref.fasta"
+        rc = main(
+            [
+                "generate", "-n", "6", "-l", "50", "-r", "200",
+                "-s", "3", "-o", str(out), "--reference", str(ref),
+            ]
+        )
+        assert rc == 0
+        seqs = read_fasta(out)
+        assert len(seqs) == 6
+        assert ref.exists()
+
+    def test_generate_stdout(self, capsys):
+        assert main(["generate", "-n", "2", "-l", "40"]) == 0
+        assert capsys.readouterr().out.startswith(">seq")
+
+    def test_align_sample_align_d(self, fasta_file, tmp_path, capsys):
+        out = tmp_path / "aln.fasta"
+        rc = main(["align", str(fasta_file), "-p", "2", "-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith(">a")
+        assert "Sample-Align-D" in capsys.readouterr().err
+
+    def test_align_sequential(self, fasta_file, capsys):
+        rc = main(["align", str(fasta_file), "--aligner", "center-star"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith(">a")
+        assert "center-star" in captured.err
+
+    def test_rank(self, fasta_file, capsys):
+        rc = main(["rank", str(fasta_file), "-k", "3", "--samples", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "centralized:" in out and "globalized" in out
+        assert "variance w.r.t. centralized" in out
+
+    def test_quality(self, tmp_path, capsys):
+        test = tmp_path / "test.fasta"
+        ref = tmp_path / "ref.fasta"
+        test.write_text(">a\nMK-V\n>b\nMKAV\n")
+        ref.write_text(">a\nMK-V\n>b\nMKAV\n")
+        rc = main(["quality", str(test), str(ref)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Q  = 1.0000" in out and "TC = 1.0000" in out
+
+    def test_model(self, capsys, monkeypatch):
+        # Stub calibration so the test is fast and host-independent.
+        from repro.perfmodel import KernelCoefficients
+        import repro.perfmodel as pm
+
+        monkeypatch.setattr(
+            pm, "calibrate_kernels", lambda: KernelCoefficients()
+        )
+        rc = main(["model", "-n", "500", "-l", "120", "-p", "1", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "model-optimal" in out

@@ -1,0 +1,41 @@
+"""Public API surface tests."""
+
+import pytest
+
+import repro
+
+
+class TestLazyImports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_quickstart_flow(self):
+        from repro import sample_align_d
+        from repro.datagen import rose
+
+        fam = rose.generate_family(
+            n_sequences=8, mean_length=60, seed=0, track_alignment=False
+        )
+        result = sample_align_d(fam.sequences, n_procs=2)
+        assert result.alignment.n_rows == 8
+        assert result.alignment.to_fasta().startswith(">")
+
+    def test_subpackages_importable(self):
+        import repro.align
+        import repro.core
+        import repro.datagen
+        import repro.kmer
+        import repro.metrics
+        import repro.msa
+        import repro.parcomp
+        import repro.perfmodel
+        import repro.samplesort
+        import repro.seq
