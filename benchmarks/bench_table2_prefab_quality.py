@@ -17,11 +17,10 @@ import numpy as np
 
 from _util import FULL, fmt_table, once, write_report
 
-from repro import sample_align_d
+from repro import AlignRequest, AlignmentService
 from repro.core.config import SampleAlignDConfig
 from repro.datagen.prefab import make_prefab_like
 from repro.metrics import qscore_pair
-from repro.msa import get_aligner
 
 PAPER = {
     "sample-align-d": 0.544,
@@ -50,21 +49,30 @@ def run_benchmark_suite():
         "muscle", "muscle-p", "tcoffee", "mafft-nwnsi", "mafft-fftnsi",
         "clustalw", "probcons",
     ]
-    scores = {m: [] for m in methods}
-    scores["sample-align-d"] = []
+    # Every method -- sequential comparators and Sample-Align-D alike --
+    # is one AlignRequest through the unified engine registry; the
+    # service executes the whole table as a single batch.
+    sad_config = SampleAlignDConfig(local_aligner="muscle-p")
+    requests, labels = [], []
     for case in cases:
-        a, b = case.ref_pair
         for m in methods:
-            aln = get_aligner(m).align(case.sequences)
-            scores[m].append(qscore_pair(aln, case.reference, a, b))
-        res = sample_align_d(
-            case.sequences,
-            n_procs=4,
-            config=SampleAlignDConfig(local_aligner="muscle-p"),
+            requests.append(AlignRequest(tuple(case.sequences), engine=m))
+            labels.append((case, m))
+        requests.append(
+            AlignRequest(
+                tuple(case.sequences), engine="sample-align-d",
+                n_procs=4, config=sad_config,
+            )
         )
-        scores["sample-align-d"].append(
-            qscore_pair(res.alignment, case.reference, a, b)
-        )
+        labels.append((case, "sample-align-d"))
+
+    with AlignmentService(max_workers=4) as svc:
+        results = svc.results(requests)
+
+    scores = {m: [] for m in methods + ["sample-align-d"]}
+    for (case, m), result in zip(labels, results):
+        a, b = case.ref_pair
+        scores[m].append(qscore_pair(result.alignment, case.reference, a, b))
     return cases, {m: float(np.mean(v)) for m, v in scores.items()}
 
 

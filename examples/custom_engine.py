@@ -2,8 +2,10 @@
 
 Shows the plug-in surface a downstream user actually touches:
 
-1. register a custom sequential aligner and run Sample-Align-D with it
-   as the per-bucket engine (the paper's "any sequential MSA system");
+1. register a custom sequential aligner -- one registration makes the
+   name usable everywhere: as a standalone engine via ``repro.align``,
+   and as Sample-Align-D's per-bucket engine (the paper's "any
+   sequential MSA system");
 2. drive progressive alignment with an externally supplied newick tree;
 3. add new sequences to a finished alignment incrementally
    (the PSI-BLAST-style primitive behind the ancestor tweak);
@@ -14,13 +16,13 @@ Run:  python examples/custom_engine.py
 
 from dataclasses import dataclass, field
 
-from repro import sample_align_d
+import repro
 from repro.align import GuideTree, add_sequences, progressive_align
 from repro.align.profile_align import ProfileAlignConfig
 from repro.core.config import SampleAlignDConfig
 from repro.datagen import rose
-from repro.msa import SequentialMsaAligner, get_aligner
-from repro.msa.registry import available_aligners, register_aligner
+from repro.msa import SequentialMsaAligner
+from repro.msa.registry import register_aligner
 from repro.seq.formats import to_clustal
 
 
@@ -53,17 +55,24 @@ def main() -> None:
     fam = rose.generate_family(n_sequences=16, mean_length=90,
                                relatedness=300, seed=2)
 
-    # 1. Register the custom engine and plug it into the pipeline.
-    if "length-center-star" not in available_aligners():
-        register_aligner(
-            "length-center-star", lambda **kw: LengthSortedCenterStar(**kw)
-        )
-    result = sample_align_d(
+    # 1. Register the custom engine (overwrite=True makes re-runs and
+    #    engine swapping painless) and use it both ways: standalone
+    #    through the unified facade, and as Sample-Align-D's bucket
+    #    aligner.
+    register_aligner(
+        "length-center-star",
+        lambda **kw: LengthSortedCenterStar(**kw),
+        overwrite=True,
+    )
+    solo = repro.align(fam.sequences, engine="length-center-star")
+    print("custom engine standalone:", solo.summary())
+    result = repro.align(
         fam.sequences,
+        engine="sample-align-d",
         n_procs=4,
         config=SampleAlignDConfig(local_aligner="length-center-star"),
     )
-    print("Sample-Align-D with a custom bucket engine:")
+    print("\nSample-Align-D with the custom bucket engine:")
     print(result.summary(), "\n")
 
     # 2. Progressive alignment along a hand-specified newick tree.

@@ -9,12 +9,9 @@ n=2000 / 16-node setting.
 Run:  python examples/genome_scale_alignment.py
 """
 
-import time
-
-from repro import sample_align_d
+import repro
 from repro.core.config import SampleAlignDConfig
 from repro.datagen.genome import SyntheticGenome
-from repro.msa import get_aligner
 from repro.perfmodel import (
     calibrate_kernels,
     predict_sequential_time,
@@ -27,16 +24,15 @@ def main() -> None:
     print(f"proteome: {genome}; sample of {len(seqs)} proteins, "
           f"mean length {seqs.mean_length():.0f}")
 
-    # Sequential baseline ("one cluster node").
-    t0 = time.perf_counter()
-    get_aligner("muscle-p").align(seqs)
-    t_seq = time.perf_counter() - t0
+    # Sequential baseline ("one cluster node") through the same facade.
+    t_seq = repro.align(seqs, engine="muscle-p").wall_time
     print(f"\nsequential muscle-p: {t_seq:.2f}s")
 
     config = SampleAlignDConfig(local_aligner="muscle-p")
     print(f"{'p':>3} {'modeled_s':>10} {'speedup':>8} {'max bucket':>11}")
     for p in (1, 2, 4, 8, 16):
-        res = sample_align_d(seqs, n_procs=p, config=config)
+        res = repro.align(seqs, engine="sample-align-d", n_procs=p,
+                          config=config).details
         print(f"{p:>3} {res.modeled_time:>10.3f} "
               f"{t_seq / res.modeled_time:>7.1f}x "
               f"{res.bucket_sizes.max():>11}")

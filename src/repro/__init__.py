@@ -22,15 +22,36 @@ the paper depends on:
 - :mod:`repro.metrics` -- Q/TC/SP scores and rank statistics.
 - :mod:`repro.perfmodel` -- the calibrated analytic cluster-performance model
   used to regenerate the paper-scale figures.
+- :mod:`repro.engine` -- the unified engine API: every backend (sequential
+  systems, the parallel baseline, Sample-Align-D) behind one
+  :class:`~repro.engine.api.Aligner` protocol, one registry and one
+  job-based :class:`~repro.engine.service.AlignmentService`.
 
 Quickstart::
 
-    from repro import sample_align_d
+    import repro
     from repro.datagen import rose
 
     fam = rose.generate_family(n_sequences=40, mean_length=120, seed=0)
-    result = sample_align_d(fam.sequences, n_procs=4, seed=0)
+
+    # One facade, every engine: distributed or sequential.
+    result = repro.align(fam.sequences, engine="sample-align-d",
+                         n_procs=4, seed=0)
+    print(result.summary())
     print(result.alignment.to_fasta()[:400])
+    baseline = repro.align(fam.sequences, engine="muscle")
+
+    # Request/response serving with batching and result caching.
+    from repro import AlignRequest, AlignmentService
+
+    with AlignmentService(max_workers=4) as svc:
+        req = AlignRequest(tuple(fam.sequences), engine="center-star")
+        jobs = svc.run_batch([req, req])     # second job is a cache hit
+        print(jobs[1].cache_hit, svc.stats)
+
+The legacy entry points (:func:`repro.sample_align_d`,
+:func:`repro.msa.get_aligner`) remain available and resolve through the
+same unified registry.
 """
 
 from typing import TYPE_CHECKING
@@ -40,12 +61,23 @@ __version__ = "1.0.0"
 # Public names are imported lazily (PEP 562) so that `import repro` stays
 # cheap and subpackages can be used independently.
 _LAZY = {
+    "Aligner": ("repro.engine.api", "Aligner"),
     "Alignment": ("repro.seq.alignment", "Alignment"),
+    "AlignRequest": ("repro.engine.api", "AlignRequest"),
+    "AlignResult": ("repro.engine.api", "AlignResult"),
+    "AlignmentService": ("repro.engine.service", "AlignmentService"),
     "MsaResult": ("repro.core.driver", "MsaResult"),
     "SampleAlignDConfig": ("repro.core.config", "SampleAlignDConfig"),
     "Sequence": ("repro.seq.sequence", "Sequence"),
     "SequenceSet": ("repro.seq.sequence", "SequenceSet"),
+    # ``repro.align`` is the (callable) kernel subpackage: calling it is
+    # the unified alignment facade, importing from it gives the kernels.
+    "align": ("repro.align", None),
+    "available_engines": ("repro.engine.registry", "available_engines"),
+    "get_engine": ("repro.engine.registry", "get_engine"),
+    "register_engine": ("repro.engine.registry", "register_engine"),
     "sample_align_d": ("repro.core.driver", "sample_align_d"),
+    "unregister_engine": ("repro.engine.registry", "unregister_engine"),
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]
@@ -53,6 +85,15 @@ __all__ = sorted(_LAZY) + ["__version__"]
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.core.config import SampleAlignDConfig
     from repro.core.driver import MsaResult, sample_align_d
+    from repro.engine import align
+    from repro.engine.api import Aligner, AlignRequest, AlignResult
+    from repro.engine.registry import (
+        available_engines,
+        get_engine,
+        register_engine,
+        unregister_engine,
+    )
+    from repro.engine.service import AlignmentService
     from repro.seq.alignment import Alignment
     from repro.seq.sequence import Sequence, SequenceSet
 
@@ -65,6 +106,6 @@ def __getattr__(name: str):
     import importlib
 
     module = importlib.import_module(module_name)
-    value = getattr(module, attr)
+    value = module if attr is None else getattr(module, attr)
     globals()[name] = value
     return value

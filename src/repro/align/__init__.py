@@ -16,7 +16,15 @@
 - :mod:`repro.align.consensus` -- consensus/"ancestor" extraction.
 - :mod:`repro.align.scoring` -- SP scores (vectorised linear and exact
   affine forms).
+
+This module is itself **callable**: ``repro.align(seqs, engine=name)``
+is the unified one-call alignment facade (see
+:func:`repro.engine.align`), which makes the natural spelling work even
+though ``repro.align`` is also the kernel subpackage.
 """
+
+import sys as _sys
+import types as _types
 
 from repro.align.dp import AffineDPResult, affine_align, affine_score
 from repro.align.incremental import add_sequence, add_sequences
@@ -63,3 +71,20 @@ __all__ = [
     "upgma",
     "wpgma",
 ]
+
+
+class _CallableAlignModule(_types.ModuleType):
+    """Module type that forwards calls to the unified alignment facade.
+
+    Attribute lookup on a package wins over ``__getattr__`` hooks once
+    the subpackage is imported, so ``repro.align`` must *be* callable
+    for ``repro.align(seqs, engine=...)`` to work in every import order.
+    """
+
+    def __call__(self, *args, **kwargs):
+        from repro.engine import align as _align
+
+        return _align(*args, **kwargs)
+
+
+_sys.modules[__name__].__class__ = _CallableAlignModule

@@ -71,6 +71,26 @@ class ProfileAlignConfig:
             open_scale = scale * position_specific_open_factors(profile)
         return self.gaps.open * open_scale, self.gaps.extend * scale
 
+    def to_dict(self) -> dict:
+        """JSON-able form (matrix by registry name); inverse of
+        :meth:`from_dict`."""
+        return {
+            "matrix": self.matrix.name,
+            "gaps": self.gaps.to_dict(),
+            "occupancy_scaled_gaps": self.occupancy_scaled_gaps,
+            "min_gap_scale": self.min_gap_scale,
+            "clustalw_gap_modifiers": self.clustalw_gap_modifiers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileAlignConfig":
+        from repro.seq.matrices import get_matrix
+
+        kwargs = dict(data)
+        kwargs["matrix"] = get_matrix(kwargs["matrix"])
+        kwargs["gaps"] = GapPenalties.from_dict(kwargs["gaps"])
+        return cls(**kwargs)
+
 
 def profile_score_matrix(
     px: Profile, py: Profile, config: ProfileAlignConfig

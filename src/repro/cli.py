@@ -2,13 +2,15 @@
 
 Commands
 --------
-``align``     Align a FASTA file with Sample-Align-D (or any registered
-              sequential aligner) and write gapped FASTA.
+``align``     Align a FASTA file with any engine in the unified registry
+              (``--engine``: Sample-Align-D, the parallel baseline, or any
+              sequential system) and write gapped FASTA.
 ``generate``  Emit a rose-style synthetic family as FASTA (optionally the
               true alignment too).
 ``rank``      Print k-mer rank statistics of a FASTA file (centralized vs
               globalized estimators).
 ``aligners``  List the registered sequential MSA systems.
+``engines``   List the unified engine registry (name + kind).
 ``quality``   Score an alignment against a reference alignment (Q/TC).
 ``model``     Calibrate the performance model and print time/speedup
               projections for a given (N, L) over a processor sweep.
@@ -40,14 +42,35 @@ def build_parser() -> argparse.ArgumentParser:
         "-p", "--procs", type=int, default=4, help="virtual processors"
     )
     p_align.add_argument(
+        "--engine",
+        default=None,
+        help="engine from the unified registry (default: sample-align-d; "
+        "see `repro engines`)",
+    )
+    p_align.add_argument(
         "--aligner",
         default=None,
-        help="run a sequential aligner instead of Sample-Align-D",
+        help="legacy alias of --engine for sequential aligners",
     )
     p_align.add_argument(
         "--local-aligner",
         default="muscle-p",
         help="Sample-Align-D's per-bucket aligner (registry name)",
+    )
+    p_align.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seeded initial block distribution (Sample-Align-D)",
+    )
+    p_align.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the machine-readable run summary as JSON "
+        "(to FILE, or stderr when no FILE is given)",
     )
 
     p_gen = sub.add_parser("generate", help="generate a synthetic family")
@@ -69,6 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("aligners", help="list registered sequential aligners")
 
+    sub.add_parser("engines", help="list the unified engine registry")
+
     p_q = sub.add_parser("quality", help="score an alignment vs a reference")
     p_q.add_argument("test", help="gapped FASTA of the test alignment")
     p_q.add_argument("reference", help="gapped FASTA of the reference")
@@ -85,27 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_align(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.config import SampleAlignDConfig
-    from repro.core.driver import sample_align_d
-    from repro.msa.registry import get_aligner
+    from repro.engine import AlignRequest, get_engine
     from repro.seq.fasta import read_fasta
 
+    if args.engine and args.aligner:
+        print("--engine and --aligner are mutually exclusive", file=sys.stderr)
+        return 2
+    engine = args.engine or args.aligner or "sample-align-d"
+
     seqs = read_fasta(args.input)
-    if args.aligner:
-        aln = get_aligner(args.aligner).align(seqs)
-        summary = f"{args.aligner}: N={aln.n_rows} cols={aln.n_columns}"
-    else:
-        config = SampleAlignDConfig(local_aligner=args.local_aligner)
-        result = sample_align_d(seqs, n_procs=args.procs, config=config)
-        aln = result.alignment
-        summary = result.summary()
-    text = aln.to_fasta()
+    # Bad user input (unknown names, empty input) becomes a clean error;
+    # failures *inside* an engine run keep their traceback.
+    try:
+        config = None
+        if engine.lower() == "sample-align-d":
+            config = SampleAlignDConfig(local_aligner=args.local_aligner)
+        request = AlignRequest(
+            sequences=tuple(seqs),
+            engine=engine,
+            n_procs=args.procs,
+            seed=args.seed,
+            config=config,
+        )
+        engine_obj = get_engine(request.engine)
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    result = engine_obj.run(request)
+
+    text = result.alignment.to_fasta()
     if args.output:
         with open(args.output, "w", encoding="ascii") as fh:
             fh.write(text)
     else:
         sys.stdout.write(text)
-    print(summary, file=sys.stderr)
+    print(result.summary(), file=sys.stderr)
+    if args.json is not None:
+        payload = json.dumps(result.report(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload, file=sys.stderr)
+        else:
+            with open(args.json, "w", encoding="ascii") as fh:
+                fh.write(payload + "\n")
     return 0
 
 
@@ -161,6 +211,14 @@ def _cmd_aligners(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    from repro.engine import available_engines
+
+    for name, kind in available_engines().items():
+        print(f"{name:<20} {kind}")
+    return 0
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from repro.metrics import qscore, total_column_score
     from repro.seq.fasta import parse_fasta_alignment
@@ -203,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "rank": _cmd_rank,
         "aligners": _cmd_aligners,
+        "engines": _cmd_engines,
         "quality": _cmd_quality,
         "model": _cmd_model,
     }

@@ -95,6 +95,57 @@ class SampleAlignDConfig:
             raise ValueError("refinement rounds must be non-negative")
         if self.ancestor_reduction not in ("root", "tree"):
             raise ValueError("ancestor_reduction must be 'root' or 'tree'")
+        # Fail fast on a bad aligner name here, not deep inside the SPMD run.
+        from repro.msa.registry import available_aligners
+
+        names = available_aligners()
+        for role, name in (
+            ("local_aligner", self.local_aligner),
+            ("root_aligner", self.root_aligner),
+        ):
+            if name is not None and name.lower() not in names:
+                raise ValueError(
+                    f"{role} {name!r} is not a registered sequential "
+                    f"aligner; available: {names}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; inverse of :meth:`from_dict`.
+
+        Nested configs serialize through their own ``to_dict`` (alphabets
+        and matrices by registry name), so the round-trip is exact for any
+        bundled alphabet/matrix.
+        """
+        return {
+            "rank_config": self.rank_config.to_dict(),
+            "samples_per_proc": self.samples_per_proc,
+            "local_aligner": self.local_aligner,
+            "local_aligner_kwargs": dict(self.local_aligner_kwargs),
+            "root_aligner": self.root_aligner,
+            "root_aligner_kwargs": dict(self.root_aligner_kwargs),
+            "scoring": self.scoring.to_dict(),
+            "ancestor_min_occupancy": self.ancestor_min_occupancy,
+            "tweak": self.tweak,
+            "sampling": self.sampling,
+            "globalize_rank": self.globalize_rank,
+            "sampling_seed": self.sampling_seed,
+            "ancestor_reduction": self.ancestor_reduction,
+            "refine_local_rounds": self.refine_local_rounds,
+            "post_refine_rounds": self.post_refine_rounds,
+            "sort_stable_by_id": self.sort_stable_by_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SampleAlignDConfig":
+        from repro.align.profile_align import ProfileAlignConfig as PAC
+        from repro.kmer.rank import RankConfig as RC
+
+        kwargs = dict(data)
+        if "rank_config" in kwargs:
+            kwargs["rank_config"] = RC.from_dict(kwargs["rank_config"])
+        if "scoring" in kwargs:
+            kwargs["scoring"] = PAC.from_dict(kwargs["scoring"])
+        return cls(**kwargs)
 
     def make_local_aligner(self):
         from repro.msa.registry import get_aligner

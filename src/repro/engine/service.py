@@ -1,0 +1,257 @@
+"""Job-based alignment execution with deduplication and an LRU cache.
+
+:class:`AlignmentService` is the serving layer of the unified API: it
+accepts single or batched :class:`~repro.engine.api.AlignRequest`\\ s,
+executes them on a thread pool, and deduplicates identical requests --
+both across time (an LRU result cache keyed by the request's content
+hash, i.e. sequence set + engine + config) and within a batch (a second
+submission of an in-flight request attaches to the running job instead
+of recomputing).  Every submission returns an :class:`AlignJob` whose
+metadata records whether the result was computed or served from cache,
+and how long it took.
+
+The engines themselves are deterministic for a fixed request (the
+:class:`~repro.engine.api.Aligner` contract), which is what makes result
+reuse sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence as TSequence
+
+from repro.engine.api import AlignRequest, AlignResult
+from repro.engine.registry import get_engine
+
+__all__ = ["AlignJob", "AlignmentService"]
+
+
+@dataclass
+class AlignJob:
+    """Handle plus metadata for one submitted request.
+
+    Attributes
+    ----------
+    job_id:
+        Monotonically increasing id within the service.
+    request:
+        The submitted request.
+    cache_hit:
+        True when the result was served from the LRU cache or attached
+        to an identical in-flight job (the alignment ran at most once).
+    wall_time:
+        Seconds from submission to completion for this job (near zero
+        for cache hits).
+    """
+
+    job_id: int
+    request: AlignRequest
+    cache_hit: bool = False
+    error: Optional[BaseException] = None
+    wall_time: Optional[float] = None
+    _result: Optional[AlignResult] = field(default=None, repr=False)
+    _future: Optional[Future] = field(default=None, repr=False)
+    _submitted: float = field(default=0.0, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    @property
+    def status(self) -> str:
+        if not self.done:
+            return "running"
+        return "failed" if self.error is not None else "done"
+
+    @property
+    def result(self) -> Optional[AlignResult]:
+        """The result if already available (non-blocking); else None."""
+        if self._result is None and self.done:
+            try:
+                self.wait()
+            except Exception:
+                return None
+        return self._result
+
+    def wait(self, timeout: Optional[float] = None) -> AlignResult:
+        """Block until the job finishes; re-raises the engine's error.
+
+        A ``TimeoutError`` from ``timeout`` expiring is re-raised but not
+        recorded: the job is still running, not failed.
+        """
+        if self._future is not None:
+            try:
+                self._result = self._future.result(timeout)
+            except FuturesTimeoutError:
+                raise
+            except Exception as exc:
+                self.error = exc
+                if self.wall_time is None:
+                    self.wall_time = time.perf_counter() - self._submitted
+                raise
+        if self.wall_time is None:
+            self.wall_time = time.perf_counter() - self._submitted
+        assert self._result is not None
+        return self._result
+
+    def metadata(self) -> Dict[str, Any]:
+        """JSON-able per-job record (id, status, cache hit, timing)."""
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "engine": self.request.engine,
+            "request_hash": self.request.content_hash(),
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "wall_time": self.wall_time,
+        }
+        if self.error is not None:
+            out["error"] = repr(self.error)
+        return out
+
+
+class AlignmentService:
+    """Thread-pooled, cache-deduplicated execution of alignment jobs.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width (default: a small pool; alignment kernels are
+        numpy-bound so they release the GIL poorly -- the pool's value
+        is overlap of independent jobs, not intra-job speedup).
+    cache_size:
+        Capacity of the LRU result cache (0 disables caching).
+
+    Usage::
+
+        with AlignmentService(max_workers=4) as svc:
+            jobs = svc.run_batch([req1, req2, req1])   # req1 runs once
+            results = [j.wait() for j in jobs]
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, cache_size: int = 128) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers or 4, thread_name_prefix="align-engine"
+        )
+        self._cache: "OrderedDict[str, AlignResult]" = OrderedDict()
+        self._cache_size = cache_size
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._hits = 0
+        self._misses = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down (outstanding jobs finish first)."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "AlignmentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: AlignRequest) -> AlignJob:
+        """Enqueue one request; returns immediately with a job handle."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        key = request.content_hash()
+        job = AlignJob(job_id=next(self._ids), request=request)
+        job._submitted = time.perf_counter()
+        with self._lock:
+            cached = self._cache.get(key) if self._cache_size else None
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                job.cache_hit = True
+                job._result = cached
+                job.wall_time = time.perf_counter() - job._submitted
+                return job
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._hits += 1
+                job.cache_hit = True
+                job._future = inflight
+                return job
+            self._misses += 1
+            future = self._executor.submit(self._execute, request, key)
+            self._inflight[key] = future
+            job._future = future
+        return job
+
+    def run(self, request: AlignRequest) -> AlignResult:
+        """Execute one request synchronously (through the cache)."""
+        return self.submit(request).wait()
+
+    def run_batch(self, requests: TSequence[AlignRequest]) -> List[AlignJob]:
+        """Submit a batch and wait for all of it.
+
+        Returns one completed job per request, **in input order**;
+        duplicate requests share a single execution (every job after the
+        first carries ``cache_hit=True``).  Failed jobs carry ``error``
+        instead of a result and do not abort the rest of the batch.
+        """
+        jobs = [self.submit(r) for r in requests]
+        for job in jobs:
+            try:
+                job.wait()
+            except Exception:
+                pass  # recorded on job.error; batch continues
+        return jobs
+
+    def results(self, requests: TSequence[AlignRequest]) -> List[AlignResult]:
+        """Batch-run and return results in input order (raises on failure)."""
+        out: List[AlignResult] = []
+        for job in self.run_batch(requests):
+            if job.error is not None:
+                raise job.error
+            assert job._result is not None
+            out.append(job._result)
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(self, request: AlignRequest, key: str) -> AlignResult:
+        try:
+            engine = get_engine(request.engine, **request.engine_kwargs)
+            result = engine.run(request)
+            with self._lock:
+                if self._cache_size:
+                    self._cache[key] = result
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and current cache/in-flight occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "cached": len(self._cache),
+                "inflight": len(self._inflight),
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()

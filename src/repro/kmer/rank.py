@@ -80,6 +80,24 @@ class RankConfig:
     def counter(self) -> KmerCounter:
         return KmerCounter(k=self.k, alphabet=self.alphabet)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (alphabet by name); inverse of :meth:`from_dict`."""
+        return {
+            "k": self.k,
+            "alphabet": self.alphabet.name,
+            "offset": self.offset,
+            "transform": self.transform,
+            "include_self": self.include_self,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankConfig":
+        from repro.seq.alphabet import get_alphabet
+
+        kwargs = dict(data)
+        kwargs["alphabet"] = get_alphabet(kwargs["alphabet"])
+        return cls(**kwargs)
+
 
 def rank_from_fractions(
     mean_fraction: np.ndarray, config: RankConfig | None = None

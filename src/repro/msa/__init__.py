@@ -37,7 +37,12 @@ from repro.msa.tcoffee import TCoffeeLike
 from repro.msa.mafft import MafftLike
 from repro.msa.centerstar import CenterStar
 from repro.msa.parallel_baseline import ParallelBaselineResult, ParallelClustalW
-from repro.msa.registry import available_aligners, get_aligner
+from repro.msa.registry import (
+    available_aligners,
+    get_aligner,
+    register_aligner,
+    unregister_aligner,
+)
 
 __all__ = [
     "CenterStar",
@@ -54,4 +59,6 @@ __all__ = [
     "get_aligner",
     "kimura_distance",
     "ktuple_distance_matrix",
+    "register_aligner",
+    "unregister_aligner",
 ]

@@ -1,70 +1,68 @@
-"""Name-based registry of the sequential MSA systems.
+"""Name-based registry of the sequential MSA systems (legacy facade).
 
-The registry is how Sample-Align-D's configuration selects its local
-aligner ("align sequences in each processor using any sequential multiple
-alignment system") and how the Table-2 quality bench iterates over the
-paper's comparators.
+The actual table now lives in :mod:`repro.engine.registry`, which spans
+*every* engine (sequential systems, the parallel baseline,
+Sample-Align-D).  This module is kept as a thin delegate over the
+sequential section so existing callers -- Sample-Align-D's configuration
+("align sequences in each processor using any sequential multiple
+alignment system"), the Table-2 quality bench, user plug-ins -- keep
+working unchanged, and so a name registered here is immediately usable
+as a unified engine (``repro.align(seqs, engine=name)``) too.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.msa.base import SequentialMsaAligner
-from repro.msa.centerstar import CenterStar
-from repro.msa.clustalw import ClustalWLike
-from repro.msa.mafft import MafftLike
-from repro.msa.muscle import MuscleLike
-from repro.msa.tcoffee import TCoffeeLike
 
-
-def _probcons(**kw) -> SequentialMsaAligner:
-    """Deferred import: the pair-HMM stack loads only when requested."""
-    from repro.msa.probcons import ProbConsLike
-
-    return ProbConsLike(**kw)
-
-__all__ = ["available_aligners", "get_aligner", "register_aligner"]
-
-_FACTORIES: Dict[str, Callable[..., SequentialMsaAligner]] = {
-    # MUSCLE family (paper Table 2: MUSCLE and MUSCLE-p).
-    "muscle": lambda **kw: MuscleLike(**kw),
-    "muscle-p": lambda **kw: MuscleLike(refine=False, **kw),
-    "muscle-draft": lambda **kw: MuscleLike(two_stage=False, refine=False, **kw),
-    # CLUSTALW.
-    "clustalw": lambda **kw: ClustalWLike(**kw),
-    "clustalw-full": lambda **kw: ClustalWLike(distance_mode="full", **kw),
-    # T-Coffee.
-    "tcoffee": lambda **kw: TCoffeeLike(**kw),
-    # ProbCons (probabilistic consistency; the paper's ref. [29]).
-    "probcons": lambda **kw: _probcons(**kw),
-    # MAFFT scripts cited by the paper.
-    "mafft-nwnsi": lambda **kw: MafftLike(mode="nwnsi", **kw),
-    "mafft-fftnsi": lambda **kw: MafftLike(mode="fftnsi", **kw),
-    # Cheap baseline.
-    "center-star": lambda **kw: CenterStar(**kw),
-}
+__all__ = [
+    "available_aligners",
+    "get_aligner",
+    "register_aligner",
+    "unregister_aligner",
+]
 
 
 def available_aligners() -> List[str]:
-    """Sorted registry names."""
-    return sorted(_FACTORIES)
+    """Sorted registry names (the sequential section of the engine table)."""
+    from repro.engine.registry import available_sequential_aligners
+
+    return available_sequential_aligners()
 
 
 def get_aligner(name: str, **kwargs) -> SequentialMsaAligner:
     """Instantiate a sequential aligner by registry name."""
+    from repro.engine.registry import get_sequential_aligner
+
+    return get_sequential_aligner(name, **kwargs)
+
+
+def register_aligner(
+    name: str,
+    factory: Callable[..., SequentialMsaAligner],
+    overwrite: bool = False,
+) -> None:
+    """Register a custom aligner factory (plug-in point for users).
+
+    The name enters the unified engine registry as well, so it is also
+    valid for ``repro.align(..., engine=name)`` and as a
+    ``SampleAlignDConfig.local_aligner``.  Re-registration raises unless
+    ``overwrite=True`` (the escape hatch for tests and plug-ins swapping
+    engines).
+    """
+    from repro.engine.registry import register_sequential_aligner
+
     try:
-        factory = _FACTORIES[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown aligner {name!r}; available: {available_aligners()}"
-        ) from None
-    return factory(**kwargs)
+        register_sequential_aligner(name, factory, overwrite=overwrite)
+    except ValueError as exc:
+        if "already registered" in str(exc):
+            raise ValueError(f"aligner {name!r} already registered") from None
+        raise  # e.g. attempting to overwrite a distributed engine
 
 
-def register_aligner(name: str, factory: Callable[..., SequentialMsaAligner]) -> None:
-    """Register a custom aligner factory (plug-in point for users)."""
-    key = name.lower()
-    if key in _FACTORIES:
-        raise ValueError(f"aligner {name!r} already registered")
-    _FACTORIES[key] = factory
+def unregister_aligner(name: str) -> None:
+    """Remove a (sequential) aligner from the registry."""
+    from repro.engine.registry import unregister_sequential_aligner
+
+    unregister_sequential_aligner(name)

@@ -211,6 +211,25 @@ class Alignment:
         gap = self.alphabet.gap_code
         return [np.flatnonzero(self.matrix[i] != gap) for i in range(self.n_rows)]
 
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form (row strings + alphabet name); inverse of
+        :meth:`from_dict`."""
+        return {
+            "ids": list(self.ids),
+            "rows": [self.row_text(i) for i in range(self.n_rows)],
+            "alphabet": self.alphabet.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Alignment":
+        from repro.seq.alphabet import get_alphabet
+
+        return cls.from_rows(
+            data["ids"], data["rows"], get_alphabet(data["alphabet"])
+        )
+
     # -- rendering -----------------------------------------------------------------
 
     def to_fasta(self, width: int = 60) -> str:

@@ -26,6 +26,7 @@ __all__ = [
     "MURPHY10",
     "SE_B14",
     "compressed_alphabets",
+    "get_alphabet",
 ]
 
 GAP_CHAR = "-"
@@ -266,3 +267,19 @@ SE_B14 = CompressedAlphabet(
 def compressed_alphabets() -> Dict[str, CompressedAlphabet]:
     """Registry of the bundled compressed alphabets, keyed by name."""
     return {a.name: a for a in (DAYHOFF6, MURPHY10, SE_B14)}
+
+
+def get_alphabet(name: str) -> Alphabet:
+    """Look up a bundled alphabet (plain or compressed) by name.
+
+    The inverse of ``alphabet.name``; serialization paths round-trip
+    alphabets through this lookup.
+    """
+    registry: Dict[str, Alphabet] = {"protein": PROTEIN, "dna": DNA}
+    registry.update(compressed_alphabets())
+    try:
+        return registry[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown alphabet {name!r}; available: {sorted(registry)}"
+        ) from None

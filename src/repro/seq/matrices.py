@@ -59,6 +59,18 @@ class GapPenalties:
         c = self.open + length * self.extend
         return c * (self.terminal_factor if terminal else 1.0)
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        return {
+            "open": self.open,
+            "extend": self.extend,
+            "terminal_factor": self.terminal_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "GapPenalties":
+        return cls(**data)
+
 
 class SubstitutionMatrix:
     """A symmetric residue-pair score matrix bound to an alphabet.

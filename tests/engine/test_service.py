@@ -1,0 +1,197 @@
+"""AlignmentService: cache semantics, batch ordering, deduplication."""
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    AlignmentService,
+    AlignRequest,
+    register_engine,
+    unregister_engine,
+)
+from repro.engine.api import AlignResult
+from repro.seq.alignment import Alignment
+
+
+@pytest.fixture()
+def req(tiny_seqs):
+    def make(engine="center-star", **kw):
+        return AlignRequest(sequences=tuple(tiny_seqs), engine=engine, **kw)
+
+    return make
+
+
+class CountingEngine:
+    """Deterministic toy engine that counts its executions."""
+
+    name = "counting"
+    kind = "sequential"
+    calls = 0
+    lock = threading.Lock()
+    started = threading.Event()
+    release = threading.Event()
+
+    def run(self, request):
+        with CountingEngine.lock:
+            CountingEngine.calls += 1
+        CountingEngine.started.set()
+        CountingEngine.release.wait(timeout=10)
+        aln = Alignment.from_rows(
+            [s.id for s in request.sequences],
+            [s.residues.ljust(40, "-")[:40] for s in request.sequences],
+        )
+        return AlignResult(
+            alignment=aln, engine=self.name, sp=0.0, wall_time=0.0,
+            request_hash=request.content_hash(),
+        )
+
+
+@pytest.fixture()
+def counting_engine():
+    CountingEngine.calls = 0
+    CountingEngine.started = threading.Event()
+    CountingEngine.release = threading.Event()
+    CountingEngine.release.set()  # default: do not block
+    register_engine("counting", lambda **kw: CountingEngine(), overwrite=True)
+    yield CountingEngine
+    unregister_engine("counting")
+
+
+class TestCache:
+    def test_miss_then_hit(self, req):
+        with AlignmentService(max_workers=2) as svc:
+            first = svc.submit(req())
+            r1 = first.wait()
+            second = svc.submit(req())
+            r2 = second.wait()
+            assert not first.cache_hit and second.cache_hit
+            assert r1.alignment == r2.alignment
+            assert r2 is r1  # served from cache, not recomputed
+            assert svc.stats == {
+                "hits": 1, "misses": 1, "cached": 1, "inflight": 0
+            }
+
+    def test_different_requests_both_miss(self, req):
+        with AlignmentService(max_workers=2) as svc:
+            svc.run(req())
+            svc.run(req(seed=1))  # seed participates in the content hash
+            assert svc.stats["misses"] == 2 and svc.stats["hits"] == 0
+
+    def test_lru_eviction(self, req, counting_engine):
+        with AlignmentService(max_workers=1, cache_size=1) as svc:
+            a, b = req(engine="counting"), req(engine="counting", seed=1)
+            svc.run(a)
+            svc.run(b)  # evicts a
+            svc.run(a)  # recompute
+            assert counting_engine.calls == 3
+            assert svc.stats["cached"] == 1
+
+    def test_cache_disabled(self, req, counting_engine):
+        with AlignmentService(max_workers=1, cache_size=0) as svc:
+            svc.run(req(engine="counting"))
+            svc.run(req(engine="counting"))
+            assert counting_engine.calls == 2
+
+    def test_clear_cache(self, req):
+        with AlignmentService(max_workers=1) as svc:
+            svc.run(req())
+            svc.clear_cache()
+            job = svc.submit(req())
+            job.wait()
+            assert not job.cache_hit
+
+
+class TestBatch:
+    def test_duplicate_requests_run_once(self, req, counting_engine):
+        with AlignmentService(max_workers=4) as svc:
+            r = req(engine="counting")
+            jobs = svc.run_batch([r, r, r, r])
+            assert counting_engine.calls == 1
+            hits = [j.cache_hit for j in jobs]
+            assert hits[0] is False and all(hits[1:])
+            results = [j.result for j in jobs]
+            assert all(res.alignment == results[0].alignment for res in results)
+
+    def test_inflight_dedup(self, req, counting_engine):
+        """A duplicate submitted while the first is running attaches to it."""
+        counting_engine.release.clear()  # hold the engine mid-run
+        with AlignmentService(max_workers=2) as svc:
+            r = req(engine="counting")
+            j1 = svc.submit(r)
+            assert counting_engine.started.wait(timeout=10)
+            j2 = svc.submit(r)  # first is in flight, not yet cached
+            assert j2.cache_hit
+            counting_engine.release.set()
+            assert j1.wait().alignment == j2.wait().alignment
+            assert counting_engine.calls == 1
+
+    def test_order_preserved(self, req, tiny_seqs):
+        reqs = [
+            req(engine="center-star"),
+            AlignRequest(tuple(tiny_seqs)[:3], engine="center-star"),
+            req(engine="sample-align-d", n_procs=2, seed=0),
+        ]
+        with AlignmentService(max_workers=3) as svc:
+            jobs = svc.run_batch(reqs)
+            assert [j.request.engine for j in jobs] == [
+                "center-star", "center-star", "sample-align-d"
+            ]
+            assert jobs[1].result.alignment.n_rows == 3
+            assert jobs[2].result.engine == "sample-align-d"
+            results = svc.results(reqs)
+            assert [r.alignment.n_rows for r in results] == [5, 3, 5]
+
+    def test_job_metadata(self, req):
+        with AlignmentService(max_workers=1) as svc:
+            jobs = svc.run_batch([req(), req()])
+            meta = [j.metadata() for j in jobs]
+            assert meta[0]["cache_hit"] is False
+            assert meta[1]["cache_hit"] is True
+            assert meta[0]["status"] == meta[1]["status"] == "done"
+            assert meta[0]["request_hash"] == meta[1]["request_hash"]
+            assert all(m["wall_time"] is not None for m in meta)
+
+
+class TestErrors:
+    def test_engine_failure_recorded_not_fatal(self, req):
+        with AlignmentService(max_workers=2) as svc:
+            bad = req(engine="does-not-exist")
+            good = req()
+            jobs = svc.run_batch([bad, good])
+            assert jobs[0].status == "failed"
+            assert isinstance(jobs[0].error, KeyError)
+            assert jobs[1].status == "done"
+            with pytest.raises(KeyError):
+                svc.results([bad])
+
+    def test_wait_reraises(self, req):
+        with AlignmentService(max_workers=1) as svc:
+            job = svc.submit(req(engine="does-not-exist"))
+            with pytest.raises(KeyError, match="unknown engine"):
+                job.wait()
+
+    def test_failed_run_not_cached(self, req, counting_engine):
+        with AlignmentService(max_workers=1) as svc:
+            with pytest.raises(KeyError):
+                svc.run(req(engine="does-not-exist"))
+            assert svc.stats["cached"] == 0 and svc.stats["inflight"] == 0
+
+    def test_wait_timeout_does_not_poison_job(self, req, counting_engine):
+        from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+        counting_engine.release.clear()  # hold the engine mid-run
+        with AlignmentService(max_workers=1) as svc:
+            job = svc.submit(req(engine="counting"))
+            with pytest.raises(FuturesTimeoutError):
+                job.wait(timeout=0.01)
+            assert job.error is None and job.status == "running"
+            counting_engine.release.set()
+            result = job.wait()
+            assert job.status == "done" and result is not None
+
+    def test_closed_service_rejects(self, req):
+        svc = AlignmentService(max_workers=1)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(req())

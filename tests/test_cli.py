@@ -71,6 +71,70 @@ class TestCommands:
         assert captured.out.startswith(">a")
         assert "center-star" in captured.err
 
+    def test_align_engine_flag(self, fasta_file, capsys):
+        rc = main(["align", str(fasta_file), "--engine", "center-star"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith(">a")
+        assert "center-star" in captured.err
+
+    def test_align_engine_parallel_baseline(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "--engine", "parallel-baseline",
+             "-p", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith(">a")
+        assert "parallel-baseline" in captured.err
+
+    def test_align_engine_and_aligner_conflict(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "--engine", "muscle",
+             "--aligner", "clustalw"]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_align_unknown_engine(self, fasta_file, capsys):
+        rc = main(["align", str(fasta_file), "--engine", "nope"])
+        assert rc == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_align_seed_changes_distribution(self, fasta_file, capsys):
+        rc = main(["align", str(fasta_file), "-p", "2", "--seed", "5"])
+        assert rc == 0
+        assert "Sample-Align-D" in capsys.readouterr().err
+
+    def test_align_json_to_file(self, fasta_file, tmp_path):
+        import json
+
+        out = tmp_path / "summary.json"
+        rc = main(
+            ["align", str(fasta_file), "-p", "2", "--seed", "1",
+             "--json", str(out)]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["engine"] == "sample-align-d"
+        assert report["n_rows"] == 4
+        assert report["request_hash"]
+        assert "bucket_sizes" in report["diagnostics"]
+
+    def test_align_json_to_stderr(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "--engine", "center-star", "--json"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert '"engine": "center-star"' in err
+
+    def test_engines_lists_unified_registry(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "sample-align-d" in out and "distributed" in out
+        assert "muscle" in out and "sequential" in out
+
     def test_rank(self, fasta_file, capsys):
         rc = main(["rank", str(fasta_file), "-k", "3", "--samples", "3"])
         assert rc == 0
