@@ -1,0 +1,123 @@
+"""Serving throughput -- the gateway under a zipf repeat mix.
+
+Not a paper figure: this seeds the *serving* perf trajectory the ROADMAP
+asks for.  A closed-loop workload (zipf-skewed over a fixed request
+pool, the web-like repetition regime) drives the full stack -- gateway
+admission, cross-client coalescing, the AlignmentService cache, a
+disk-backed ResultStore -- and the report records requests/sec, p50/p99
+latency and the coalesce/store hit-rates, both cold (empty store) and
+warm (second pass over the same store, as after a process restart).
+
+Output: benchmarks/reports/serve_throughput.json (machine-readable, the
+perf-tracking artifact) plus the usual text report.
+"""
+
+import json
+import tempfile
+
+from _util import FULL, REPORT_DIR, fmt_table, once, write_report
+
+from repro.engine import AlignmentService
+from repro.serve import (
+    AlignmentGateway,
+    ResultStore,
+    WorkloadConfig,
+    build_request_pool,
+    run_workload,
+)
+
+
+def _drive(config, store_dir, pool):
+    service = AlignmentService(
+        max_workers=4, cache=ResultStore(store_dir)
+    )
+    with AlignmentGateway(service, n_workers=4, max_queue=512) as gateway:
+        return run_workload(gateway, config, pool=pool)
+
+
+def test_serve_throughput(benchmark):
+    config = WorkloadConfig(
+        n_requests=2000 if FULL else 400,
+        n_clients=8,
+        mode="closed",
+        mix="zipf",
+        pool_size=64 if FULL else 24,
+        engine="center-star",
+        family_size=8 if FULL else 6,
+        family_length=80 if FULL else 48,
+        seed=0,
+    )
+    # Materialize the pool once so both passes (and the timing) measure
+    # serving, not rose generation.
+    pool = build_request_pool(config)
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+
+    cold = once(benchmark, _drive, config, store_dir, pool)
+    warm = _drive(config, store_dir, pool)  # restart-equivalent: fresh stack
+
+    def row(tag, report):
+        lat = report["latency"]
+        svc = report["gateway"]["service"]
+        backend = svc["cache_backend"] or {}
+        return [
+            tag,
+            f"{report['throughput_rps']:.0f}",
+            f"{lat['p50_s'] * 1000:.2f}",
+            f"{lat['p99_s'] * 1000:.2f}",
+            f"{report['coalesce_hit_rate']:.3f}",
+            f"{backend.get('hits', 0)}",
+            f"{svc['computed']}",
+        ]
+
+    table = fmt_table(
+        ["pass", "req/s", "p50_ms", "p99_ms", "coalesce_rate",
+         "store_hits", "computed"],
+        [row("cold", cold), row("warm", warm)],
+    )
+
+    payload = {
+        "workload": {
+            "n_requests": config.n_requests,
+            "n_clients": config.n_clients,
+            "mode": config.mode,
+            "mix": config.mix,
+            "pool_size": config.pool_size,
+            "engine": config.engine,
+            "seed": config.seed,
+            "full_scale": FULL,
+        },
+        "pool_distinct_requests": len(pool),
+        "cold": _strip(cold),
+        "warm": _strip(warm),
+    }
+    REPORT_DIR.mkdir(exist_ok=True)
+    out = REPORT_DIR / "serve_throughput.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    write_report(
+        "serve_throughput",
+        "Serving throughput: closed-loop zipf repeat mix over the full "
+        "gateway + disk-store stack\n\n" + table
+        + f"\n\nJSON artifact: {out}",
+    )
+
+    assert cold["requests"]["errors"] == 0
+    assert warm["requests"]["errors"] == 0
+    assert warm["gateway"]["service"]["computed"] == 0  # disk-served
+
+
+def _strip(report):
+    """The JSON-able perf essentials of a workload report."""
+    return {
+        "elapsed_s": report["elapsed_s"],
+        "throughput_rps": report["throughput_rps"],
+        "latency": report["latency"],
+        "requests": report["requests"],
+        "coalesce_hit_rate": report["coalesce_hit_rate"],
+        "gateway_counters": {
+            k: report["gateway"][k]
+            for k in ("admitted", "coalesced", "completed", "failed",
+                      "rejected_queue_full", "rejected_rate_limited")
+        },
+        "service": report["gateway"]["service"],
+    }

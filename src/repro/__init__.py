@@ -26,6 +26,11 @@ the paper depends on:
   systems, the parallel baseline, Sample-Align-D) behind one
   :class:`~repro.engine.api.Aligner` protocol, one registry and one
   job-based :class:`~repro.engine.service.AlignmentService`.
+- :mod:`repro.serve` -- the serving layer: an admission-controlled,
+  request-coalescing :class:`~repro.serve.gateway.AlignmentGateway`, a
+  disk-backed content-addressed :class:`~repro.serve.store.ResultStore`,
+  an HTTP frontend, and a seeded open/closed-loop traffic generator
+  (``python -m repro serve`` / ``python -m repro loadtest``).
 
 Quickstart::
 
@@ -65,7 +70,9 @@ _LAZY = {
     "Alignment": ("repro.seq.alignment", "Alignment"),
     "AlignRequest": ("repro.engine.api", "AlignRequest"),
     "AlignResult": ("repro.engine.api", "AlignResult"),
+    "AlignmentGateway": ("repro.serve.gateway", "AlignmentGateway"),
     "AlignmentService": ("repro.engine.service", "AlignmentService"),
+    "ResultStore": ("repro.serve.store", "ResultStore"),
     "MsaResult": ("repro.core.driver", "MsaResult"),
     "SampleAlignDConfig": ("repro.core.config", "SampleAlignDConfig"),
     "Sequence": ("repro.seq.sequence", "Sequence"),
@@ -96,6 +103,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.engine.service import AlignmentService
     from repro.seq.alignment import Alignment
     from repro.seq.sequence import Sequence, SequenceSet
+    from repro.serve.gateway import AlignmentGateway
+    from repro.serve.store import ResultStore
 
 
 def __getattr__(name: str):

@@ -14,6 +14,12 @@ Commands
 ``quality``   Score an alignment against a reference alignment (Q/TC).
 ``model``     Calibrate the performance model and print time/speedup
               projections for a given (N, L) over a processor sweep.
+``plan``      Recommend a worker count for a FASTA workload from the
+              calibrated scalability model (Figs. 4-5).
+``serve``     Start the alignment-serving HTTP gateway (admission
+              control, coalescing, optional disk-backed result store).
+``loadtest``  Drive an in-process gateway with seeded synthetic traffic
+              and report throughput/latency/hit-rates.
 """
 
 from __future__ import annotations
@@ -25,6 +31,18 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _emit_json(payload: object, dest: str, dash_stream=None) -> None:
+    """Route a ``--json [FILE]`` payload: ``-`` to a stream, else FILE."""
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text, file=dash_stream or sys.stdout)
+    else:
+        with open(dest, "w", encoding="ascii") as fh:
+            fh.write(text + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,14 +124,102 @@ def build_parser() -> argparse.ArgumentParser:
     p_m.add_argument(
         "-p", "--procs", type=int, nargs="+", default=[1, 4, 8, 16]
     )
+
+    p_plan = sub.add_parser(
+        "plan", help="recommend a worker count for a FASTA workload"
+    )
+    p_plan.add_argument("input", help="FASTA file of ungapped sequences")
+    p_plan.add_argument(
+        "--max-procs", type=int, default=64, help="largest count considered"
+    )
+    p_plan.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the plan as JSON (to FILE, or stdout when no FILE)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="start the alignment-serving HTTP gateway"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8000, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="gateway dispatcher threads"
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=256, help="admission-queue bound"
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR",
+        help="directory for the disk-backed result store "
+        "(default: in-memory cache only)",
+    )
+    p_serve.add_argument(
+        "--store-budget-mb", type=float, default=256.0,
+        help="disk store byte budget in MiB",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="in-memory result-cache entries (when no --store)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None,
+        help="per-client token-bucket rate (req/s; default unlimited)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=None,
+        help="per-client token-bucket burst (default 2x rate)",
+    )
+
+    p_load = sub.add_parser(
+        "loadtest", help="drive an in-process gateway with synthetic traffic"
+    )
+    p_load.add_argument("--requests", type=int, default=500)
+    p_load.add_argument("--clients", type=int, default=8)
+    p_load.add_argument(
+        "--mode", choices=["closed", "open"], default="closed"
+    )
+    p_load.add_argument(
+        "--mix", choices=["uniform", "zipf", "repeat"], default="zipf"
+    )
+    p_load.add_argument(
+        "--pool", type=int, default=24, help="distinct requests in the pool"
+    )
+    p_load.add_argument(
+        "--arrival-rate", type=float, default=200.0,
+        help="open-loop Poisson arrival rate (req/s)",
+    )
+    p_load.add_argument("--engine", default="center-star")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--workers", type=int, default=4, help="gateway dispatcher threads"
+    )
+    p_load.add_argument(
+        "--queue-size", type=int, default=256, help="admission-queue bound"
+    )
+    p_load.add_argument(
+        "--store", metavar="DIR",
+        help="back the gateway with a disk result store at DIR",
+    )
+    p_load.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the full report as JSON (to FILE, or stdout when no FILE)",
+    )
     return parser
 
 
 def _cmd_align(args: argparse.Namespace) -> int:
-    import json
-
     from repro.core.config import SampleAlignDConfig
-    from repro.engine import AlignRequest, get_engine
+    from repro.engine import AlignmentService, AlignRequest, get_engine
     from repro.seq.fasta import read_fasta
 
     if args.engine and args.aligner:
@@ -135,12 +241,17 @@ def _cmd_align(args: argparse.Namespace) -> int:
             seed=args.seed,
             config=config,
         )
-        engine_obj = get_engine(request.engine)
+        get_engine(request.engine)  # fail fast on unknown names
     except (KeyError, ValueError) as exc:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"error: {msg}", file=sys.stderr)
         return 2
-    result = engine_obj.run(request)
+    # Run through the service so the report carries the serving-layer
+    # stats (cache hits/misses/evictions, computed vs served).
+    with AlignmentService(max_workers=1) as svc:
+        job = svc.submit(request)
+        result = job.wait()
+        service_stats = svc.stats
 
     text = result.alignment.to_fasta()
     if args.output:
@@ -150,12 +261,11 @@ def _cmd_align(args: argparse.Namespace) -> int:
         sys.stdout.write(text)
     print(result.summary(), file=sys.stderr)
     if args.json is not None:
-        payload = json.dumps(result.report(), indent=2, sort_keys=True)
-        if args.json == "-":
-            print(payload, file=sys.stderr)
-        else:
-            with open(args.json, "w", encoding="ascii") as fh:
-                fh.write(payload + "\n")
+        report = result.report()
+        report["job"] = job.metadata()
+        report["service"] = service_stats
+        # align's `-` goes to stderr: stdout may carry the FASTA.
+        _emit_json(report, args.json, dash_stream=sys.stderr)
     return 0
 
 
@@ -254,6 +364,190 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        calibrate_kernels,
+        comm_compute_crossover,
+        efficiency_curve,
+        optimal_processors,
+        predict_sequential_time,
+        predict_total_time,
+    )
+    from repro.seq.fasta import read_fasta
+
+    seqs = read_fasta(args.input)
+    if len(seqs) == 0:
+        print("error: no sequences in input", file=sys.stderr)
+        return 2
+    n = len(seqs)
+    mean_length = sum(len(s) for s in seqs) / n
+
+    print("calibrating kernels on this host (a few seconds)...",
+          file=sys.stderr)
+    coeffs = calibrate_kernels()
+    best = optimal_processors(n, mean_length, coeffs, max_procs=args.max_procs)
+    t_seq = predict_sequential_time(n, mean_length, coeffs)
+    t_best = predict_total_time(n, best, mean_length, coeffs)
+    sweep = sorted({1, 2, 4, 8, 16, 32, best, args.max_procs})
+    sweep = [p for p in sweep if 1 <= p <= args.max_procs]
+    eff = efficiency_curve(n, mean_length, sweep, coeffs)
+    crossover = comm_compute_crossover(n, mean_length, coeffs)
+
+    plan = {
+        "input": args.input,
+        "n_sequences": n,
+        "mean_length": mean_length,
+        "recommended_procs": best,
+        "predicted_sequential_s": t_seq,
+        "predicted_parallel_s": t_best,
+        "predicted_speedup": t_seq / t_best if t_best > 0 else None,
+        "comm_compute_crossover_procs": crossover,
+        "efficiency": {
+            str(p): float(e) for p, e in zip(sweep, eff)
+        },
+    }
+    if args.json is not None:
+        _emit_json(plan, args.json)
+        return 0
+    print(f"workload: N={n} mean_length={mean_length:.0f}")
+    print(f"{'p':>4} {'efficiency':>11}")
+    for p, e in zip(sweep, eff):
+        marker = "  <- recommended" if p == best else ""
+        print(f"{p:>4} {e:>11.2f}{marker}")
+    print(
+        f"\nrecommended workers: {best} "
+        f"(~{t_best:.1f}s vs ~{t_seq:.1f}s sequential, "
+        f"{t_seq / max(t_best, 1e-12):.1f}x)"
+    )
+    print(f"communication overtakes compute at p={crossover}")
+    return 0
+
+
+def _build_gateway(args: argparse.Namespace):
+    """Service + gateway from the shared serve/loadtest options."""
+    from repro.engine import (
+        AlignmentService,
+        MemoryResultCache,
+        TieredResultCache,
+    )
+    from repro.serve import AlignmentGateway, ResultStore
+
+    cache_size = getattr(args, "cache_size", 128)
+    if args.store:
+        budget_mb = getattr(args, "store_budget_mb", 256.0)
+        store = ResultStore(args.store, byte_budget=int(budget_mb * 1024 * 1024))
+        # Memory tier in front: repeat hits on hot keys skip the disk.
+        cache = (
+            TieredResultCache(MemoryResultCache(cache_size), store)
+            if cache_size else store
+        )
+    else:
+        cache = None
+    service = AlignmentService(
+        max_workers=args.workers,
+        cache_size=cache_size,
+        cache=cache,
+    )
+    return AlignmentGateway(
+        service,
+        n_workers=args.workers,
+        max_queue=args.queue_size,
+        rate=getattr(args, "rate", None),
+        burst=getattr(args, "burst", None),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server
+
+    try:
+        gateway = _build_gateway(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = create_server(
+            gateway, host=args.host, port=args.port, quiet=False
+        )
+    except OSError as exc:  # port in use, privileged port, bad host
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        gateway.close()
+        return 2
+    store_note = f", store={args.store}" if args.store else ""
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"(workers={args.workers}, queue={args.queue_size}{store_note})",
+        file=sys.stderr,
+    )
+    print("endpoints: POST /align, GET /jobs/<id>, /healthz, /metrics",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        gateway.close()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve import WorkloadConfig, run_workload
+
+    try:
+        config = WorkloadConfig(
+            n_requests=args.requests,
+            n_clients=args.clients,
+            mode=args.mode,
+            mix=args.mix,
+            pool_size=args.pool,
+            arrival_rate=args.arrival_rate,
+            engine=args.engine,
+            seed=args.seed,
+        )
+        gateway = _build_gateway(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_workload(gateway, config)
+    finally:
+        gateway.close()
+
+    reqs = report["requests"]
+    if args.json == "-":
+        # Machine-readable stdout must be pure JSON (pipeable to jq).
+        _emit_json(report, args.json)
+        return 0 if reqs["errors"] == 0 else 1
+    lat = report["latency"]
+    gw = report["gateway"]
+    svc = gw["service"]
+
+    def ms(v):
+        return f"{v * 1000:.1f}ms" if v is not None else "n/a"
+
+    print(
+        f"{args.mode}-loop {args.mix} mix: {reqs['ok']}/{reqs['issued']} ok, "
+        f"{reqs['errors']} errors, {reqs['rejected']} rejected "
+        f"({report['elapsed_s']:.2f}s, "
+        f"{report['throughput_rps']:.0f} req/s)"
+    )
+    print(f"latency: p50={ms(lat['p50_s'])} p99={ms(lat['p99_s'])} "
+          f"max={ms(lat['max_s'])}")
+    print(
+        f"coalesce hit-rate: {report['coalesce_hit_rate']:.1%} "
+        f"({gw['coalesced']} coalesced / {gw['admitted']} admitted)"
+    )
+    print(
+        f"result cache: {svc['served']} served, {svc['computed']} computed, "
+        f"{svc['evictions']} evicted"
+    )
+    if args.json is not None:
+        _emit_json(report, args.json)
+    return 0 if reqs["errors"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -264,6 +558,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engines": _cmd_engines,
         "quality": _cmd_quality,
         "model": _cmd_model,
+        "plan": _cmd_plan,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     return handlers[args.command](args)
 

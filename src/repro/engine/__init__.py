@@ -14,7 +14,10 @@ write::
 and always get back an :class:`AlignResult`.  For request/response
 serving (batching, deduplication, caching) use
 :class:`AlignmentService`; to add a backend use :func:`register_engine`
-or :func:`~repro.engine.registry.register_sequential_aligner`.
+or :func:`~repro.engine.registry.register_sequential_aligner`.  The
+service's result cache is a pluggable :class:`CacheBackend`
+(:class:`MemoryResultCache` by default; see
+:class:`repro.serve.store.ResultStore` for the disk-backed one).
 """
 
 from __future__ import annotations
@@ -29,7 +32,13 @@ from repro.engine.registry import (
     register_sequential_aligner,
     unregister_engine,
 )
-from repro.engine.service import AlignJob, AlignmentService
+from repro.engine.service import (
+    AlignJob,
+    AlignmentService,
+    CacheBackend,
+    MemoryResultCache,
+    TieredResultCache,
+)
 
 __all__ = [
     "Aligner",
@@ -37,6 +46,9 @@ __all__ = [
     "AlignRequest",
     "AlignResult",
     "AlignmentService",
+    "CacheBackend",
+    "MemoryResultCache",
+    "TieredResultCache",
     "align",
     "available_engines",
     "get_engine",

@@ -1,14 +1,19 @@
-"""Job-based alignment execution with deduplication and an LRU cache.
+"""Job-based alignment execution with deduplication and a pluggable cache.
 
 :class:`AlignmentService` is the serving layer of the unified API: it
 accepts single or batched :class:`~repro.engine.api.AlignRequest`\\ s,
 executes them on a thread pool, and deduplicates identical requests --
-both across time (an LRU result cache keyed by the request's content
-hash, i.e. sequence set + engine + config) and within a batch (a second
+both across time (a result cache keyed by the request's content hash,
+i.e. sequence set + engine + config) and within a batch (a second
 submission of an in-flight request attaches to the running job instead
 of recomputing).  Every submission returns an :class:`AlignJob` whose
 metadata records whether the result was computed or served from cache,
 and how long it took.
+
+The result cache is a pluggable :class:`CacheBackend`: the default is
+the process-local :class:`MemoryResultCache` (an LRU bounded by entry
+count), and :class:`repro.serve.store.ResultStore` drops in a disk-backed
+content-addressed store so results survive process restarts.
 
 The engines themselves are deterministic for a fixed request (the
 :class:`~repro.engine.api.Aligner` contract), which is what makes result
@@ -24,12 +29,149 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence as TSequence
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence as TSequence,
+    runtime_checkable,
+)
 
 from repro.engine.api import AlignRequest, AlignResult
 from repro.engine.registry import get_engine
 
-__all__ = ["AlignJob", "AlignmentService"]
+__all__ = [
+    "AlignJob",
+    "AlignmentService",
+    "CacheBackend",
+    "MemoryResultCache",
+    "TieredResultCache",
+]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What :class:`AlignmentService` needs from a result cache.
+
+    Keys are :meth:`AlignRequest.content_hash` digests, so any two
+    processes agree on what a key means -- which is what makes shared
+    backends (e.g. a disk store) sound.  Implementations must be
+    thread-safe; ``get`` returns ``None`` on a miss and is expected to
+    refresh the entry's recency when the backend evicts.
+    """
+
+    def get(self, key: str) -> Optional[AlignResult]:
+        """Return the cached result for ``key``, or ``None``."""
+        ...
+
+    def put(self, key: str, result: AlignResult) -> None:
+        """Store ``result`` under ``key`` (evicting as needed)."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of currently cached entries."""
+        ...
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able backend counters (entries, evictions, ...)."""
+        ...
+
+
+class MemoryResultCache:
+    """The default backend: a thread-safe in-process LRU, bounded by count."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, AlignResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[AlignResult]:
+        with self._lock:
+            result = self._data.get(key)
+            if result is not None:
+                self._data.move_to_end(key)
+            return result
+
+    def put(self, key: str, result: AlignResult) -> None:
+        with self._lock:
+            self._data[key] = result
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "backend": "memory",
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "evictions": self._evictions,
+            }
+
+
+class TieredResultCache:
+    """Two-level backend: a fast front over a durable back.
+
+    Typical composition: a small :class:`MemoryResultCache` in front of
+    a disk-backed :class:`repro.serve.store.ResultStore`, so repeat hits
+    on hot keys skip the disk read/parse entirely while results still
+    survive restarts.  Gets fall through to the back and promote the hit
+    into the front; puts write through to both.
+    """
+
+    def __init__(self, front: CacheBackend, back: CacheBackend) -> None:
+        self.front = front
+        self.back = back
+
+    def get(self, key: str) -> Optional[AlignResult]:
+        result = self.front.get(key)
+        if result is not None:
+            return result
+        result = self.back.get(key)
+        if result is not None:
+            self.front.put(key, result)  # promote the hot key
+        return result
+
+    def put(self, key: str, result: AlignResult) -> None:
+        self.front.put(key, result)
+        self.back.put(key, result)
+
+    def clear(self) -> None:
+        self.front.clear()
+        self.back.clear()
+
+    def __len__(self) -> int:
+        # The durable tier is the authority; the front is a subset.
+        return len(self.back)
+
+    def stats(self) -> Dict[str, Any]:
+        front, back = self.front.stats(), self.back.stats()
+        return {
+            "backend": "tiered",
+            "entries": len(self.back),
+            "evictions": back.get("evictions", 0),
+            "front": front,
+            "back": back,
+        }
 
 
 @dataclass
@@ -125,7 +267,12 @@ class AlignmentService:
         numpy-bound so they release the GIL poorly -- the pool's value
         is overlap of independent jobs, not intra-job speedup).
     cache_size:
-        Capacity of the LRU result cache (0 disables caching).
+        Capacity of the default in-memory LRU cache (0 disables
+        caching).  Ignored when ``cache`` is given.
+    cache:
+        An explicit :class:`CacheBackend` (e.g. a disk-backed
+        :class:`repro.serve.store.ResultStore`), replacing the default
+        :class:`MemoryResultCache`.
 
     Usage::
 
@@ -134,19 +281,30 @@ class AlignmentService:
             results = [j.wait() for j in jobs]
     """
 
-    def __init__(self, max_workers: Optional[int] = None, cache_size: int = 128) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_size: int = 128,
+        cache: Optional[CacheBackend] = None,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers or 4, thread_name_prefix="align-engine"
         )
-        self._cache: "OrderedDict[str, AlignResult]" = OrderedDict()
-        self._cache_size = cache_size
+        if cache is not None:
+            self._cache: Optional[CacheBackend] = cache
+        elif cache_size:
+            self._cache = MemoryResultCache(cache_size)
+        else:
+            self._cache = None
         self._inflight: Dict[str, Future] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._hits = 0
         self._misses = 0
+        self._computed = 0
+        self._cache_put_failures = 0
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -171,10 +329,13 @@ class AlignmentService:
         key = request.content_hash()
         job = AlignJob(job_id=next(self._ids), request=request)
         job._submitted = time.perf_counter()
+        # Backend lookup happens outside the service lock: backends are
+        # thread-safe and a disk-backed get must not serialize every
+        # submission.  The cost is a benign race -- a request finishing
+        # between this get and the in-flight check below is recomputed.
+        cached = self._cache.get(key) if self._cache is not None else None
         with self._lock:
-            cached = self._cache.get(key) if self._cache_size else None
             if cached is not None:
-                self._cache.move_to_end(key)
                 self._hits += 1
                 job.cache_hit = True
                 job._result = cached
@@ -228,12 +389,17 @@ class AlignmentService:
         try:
             engine = get_engine(request.engine, **request.engine_kwargs)
             result = engine.run(request)
+            if self._cache is not None:
+                # Outside the lock (thread-safe backend, possibly disk
+                # I/O) and never fatal: a cache that cannot store costs
+                # a future recomputation, not this job's result.
+                try:
+                    self._cache.put(key, result)
+                except Exception:
+                    with self._lock:
+                        self._cache_put_failures += 1
             with self._lock:
-                if self._cache_size:
-                    self._cache[key] = result
-                    self._cache.move_to_end(key)
-                    while len(self._cache) > self._cache_size:
-                        self._cache.popitem(last=False)
+                self._computed += 1
             return result
         finally:
             with self._lock:
@@ -242,16 +408,32 @@ class AlignmentService:
     # -- introspection -----------------------------------------------------
 
     @property
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and current cache/in-flight occupancy."""
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the user-facing metrics surface.
+
+        ``hits``/``misses`` are cache-lookup outcomes (an in-flight
+        attach counts as a hit), ``served`` is an alias of ``hits``,
+        ``computed`` counts engine runs that completed, ``evictions``
+        comes from the backend, and ``cached``/``inflight`` are current
+        occupancies.  ``cache_backend`` carries the backend's own
+        counters (``None`` when caching is disabled).
+        """
+        backend_stats: Optional[Dict[str, Any]] = None
+        if self._cache is not None:
+            backend_stats = self._cache.stats()
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
-                "cached": len(self._cache),
+                "served": self._hits,
+                "computed": self._computed,
+                "evictions": (backend_stats or {}).get("evictions", 0),
+                "cached": len(self._cache) if self._cache is not None else 0,
                 "inflight": len(self._inflight),
+                "cache_put_failures": self._cache_put_failures,
+                "cache_backend": backend_stats,
             }
 
     def clear_cache(self) -> None:
-        with self._lock:
+        if self._cache is not None:
             self._cache.clear()

@@ -1,0 +1,308 @@
+"""Seeded synthetic traffic for the alignment gateway.
+
+The ROADMAP's north star is "heavy traffic from millions of users"; this
+module is how we manufacture that traffic deterministically.  A workload
+is a pool of distinct alignment requests (small rose families from
+:mod:`repro.datagen.rose`) plus a *mix* deciding which pool entry each
+request hits:
+
+- ``uniform`` -- every entry equally likely (worst case for caches).
+- ``zipf``    -- entry ranks weighted ``1/rank**s`` (web-like skew; the
+  interesting regime for coalescing and the result store).
+- ``repeat``  -- a hot subset gets a fixed fraction of all traffic
+  (the ISSUE's "repeat-heavy" acceptance mix).
+
+Two driving disciplines:
+
+- **closed loop**: ``n_clients`` threads, each submitting its next
+  request only after the previous one finished -- throughput adapts to
+  the server (how real SDK users behave).
+- **open loop**: Poisson arrivals at ``arrival_rate`` req/s regardless
+  of completions -- the discipline that actually exposes queueing and
+  admission behaviour (Schroeder et al.'s open-vs-closed distinction).
+
+Everything is seeded: the pool contents, every client's request stream
+and the arrival process derive from ``WorkloadConfig.seed``, so a load
+test is reproducible down to the request order.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.api import AlignRequest
+from repro.serve.gateway import AlignmentGateway, GatewayError, percentile
+
+__all__ = ["WorkloadConfig", "build_request_pool", "mix_indices", "run_workload"]
+
+_MIXES = ("uniform", "zipf", "repeat")
+_MODES = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One reproducible traffic scenario.
+
+    Attributes
+    ----------
+    n_requests:
+        Total requests to issue (across all clients).
+    n_clients:
+        Concurrent clients (closed loop) / distinct client ids (open
+        loop -- arrivals round-robin over them).
+    mode:
+        ``"closed"`` or ``"open"``.
+    mix:
+        ``"uniform"``, ``"zipf"`` or ``"repeat"``.
+    pool_size:
+        Number of distinct requests in the pool.
+    zipf_s:
+        Skew exponent for the zipf mix (>1 = heavier head).
+    hot_fraction / repeat_fraction:
+        For the repeat mix: the first ``max(1, hot_fraction*pool)``
+        entries receive ``repeat_fraction`` of all traffic.
+    arrival_rate:
+        Mean arrivals/second for the open loop (Poisson process).
+    engine:
+        Engine name for every pooled request (a fast sequential engine
+        by default; the point is serving behaviour, not kernel speed).
+    family_size / family_length / relatedness:
+        Rose-family shape of each pooled request.
+    seed:
+        Master seed for pool generation, mixes and arrivals.
+    wait_timeout:
+        Per-request wait bound before it is counted as an error.
+    """
+
+    n_requests: int = 200
+    n_clients: int = 4
+    mode: str = "closed"
+    mix: str = "zipf"
+    pool_size: int = 24
+    zipf_s: float = 1.1
+    hot_fraction: float = 0.1
+    repeat_fraction: float = 0.8
+    arrival_rate: float = 200.0
+    engine: str = "center-star"
+    family_size: int = 6
+    family_length: int = 48
+    relatedness: float = 250.0
+    seed: int = 0
+    wait_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if self.mix not in _MIXES:
+            raise ValueError(f"mix must be one of {_MIXES}")
+        if self.n_requests < 1 or self.n_clients < 1 or self.pool_size < 1:
+            raise ValueError("n_requests, n_clients and pool_size must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+
+
+def build_request_pool(config: WorkloadConfig) -> List[AlignRequest]:
+    """The ``pool_size`` distinct requests this workload draws from."""
+    from repro.datagen.rose import generate_family
+
+    pool = []
+    for i in range(config.pool_size):
+        fam = generate_family(
+            n_sequences=config.family_size,
+            mean_length=config.family_length,
+            relatedness=config.relatedness,
+            seed=config.seed * 100003 + i,
+            track_alignment=False,
+        )
+        pool.append(
+            AlignRequest(sequences=tuple(fam.sequences), engine=config.engine)
+        )
+    return pool
+
+
+def mix_indices(config: WorkloadConfig, n: int, stream_seed: int) -> List[int]:
+    """``n`` pool indices drawn from the configured mix (deterministic)."""
+    # Seed via a string: str seeding is deterministic across processes
+    # (tuple seeding would go through randomized hash()).
+    rng = random.Random(f"{config.seed}:{config.mix}:{stream_seed}")
+    size = config.pool_size
+    if config.mix == "uniform":
+        return [rng.randrange(size) for _ in range(n)]
+    if config.mix == "zipf":
+        weights = [1.0 / (rank + 1) ** config.zipf_s for rank in range(size)]
+        return rng.choices(range(size), weights=weights, k=n)
+    # repeat: a hot subset takes repeat_fraction of the traffic.
+    n_hot = max(1, int(config.hot_fraction * size))
+    out = []
+    for _ in range(n):
+        if rng.random() < config.repeat_fraction:
+            out.append(rng.randrange(n_hot))
+        else:
+            out.append(rng.randrange(size))
+    return out
+
+
+@dataclass
+class _ClientLog:
+    latencies: List[float] = field(default_factory=list)
+    ok: int = 0
+    errors: int = 0
+    rejected: int = 0
+    retries: int = 0
+
+
+def _drive_closed_client(
+    gateway: AlignmentGateway,
+    pool: List[AlignRequest],
+    indices: List[int],
+    client_id: str,
+    config: WorkloadConfig,
+    barrier: threading.Barrier,
+    log: _ClientLog,
+) -> None:
+    barrier.wait(timeout=60)
+    for idx in indices:
+        request = pool[idx]
+        t0 = time.monotonic()
+        ticket = None
+        hard_error = False
+        for attempt in range(1000):
+            try:
+                ticket = gateway.submit(request, client_id=client_id)
+                break
+            except GatewayError:
+                # Closed-loop clients back off and retry on admission
+                # refusal -- the load is self-limiting, not lossy.
+                log.retries += 1
+                time.sleep(0.002 * (attempt + 1))
+            except Exception:
+                # Anything else (gateway closed, bad config) must count
+                # against the report, not kill the client thread and
+                # silently shrink the totals.
+                hard_error = True
+                break
+        if ticket is None:
+            if hard_error:
+                log.errors += 1
+            else:
+                log.rejected += 1
+            continue
+        try:
+            ticket.wait(config.wait_timeout)
+            log.ok += 1
+            log.latencies.append(time.monotonic() - t0)
+        except Exception:
+            log.errors += 1
+
+
+def _run_closed(gateway: AlignmentGateway, pool, config) -> List[_ClientLog]:
+    base = config.n_requests // config.n_clients
+    extra = config.n_requests % config.n_clients
+    logs = [_ClientLog() for _ in range(config.n_clients)]
+    barrier = threading.Barrier(config.n_clients)
+    threads = []
+    for c in range(config.n_clients):
+        indices = mix_indices(config, base + (1 if c < extra else 0), c)
+        threads.append(
+            threading.Thread(
+                target=_drive_closed_client,
+                args=(gateway, pool, indices, f"client-{c}", config,
+                      barrier, logs[c]),
+                name=f"load-client-{c}",
+            )
+        )
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return logs
+
+
+def _run_open(gateway: AlignmentGateway, pool, config) -> List[_ClientLog]:
+    """Poisson arrivals; waits for all issued tickets at the end."""
+    rng = random.Random(f"{config.seed}:arrivals")
+    indices = mix_indices(config, config.n_requests, stream_seed=-1)
+    log = _ClientLog()
+    issued = []  # (ticket, t_submitted)
+    for i, idx in enumerate(indices):
+        time.sleep(rng.expovariate(config.arrival_rate))
+        client_id = f"client-{i % config.n_clients}"
+        try:
+            issued.append(
+                (gateway.submit(pool[idx], client_id=client_id),
+                 time.monotonic())
+            )
+        except GatewayError:
+            # Open-loop traffic does not retry: a refusal under overload
+            # is the admission controller doing its job, and is reported
+            # separately from errors.
+            log.rejected += 1
+        except Exception:
+            log.errors += 1  # gateway closed / misconfigured: a real error
+    for ticket, t0 in issued:
+        try:
+            ticket.wait(config.wait_timeout)
+            log.ok += 1
+            # Latency ends when the computation completed, not when this
+            # sequential drain loop happened to observe it -- otherwise
+            # early completions inherit the rest of the arrival schedule.
+            # (Clamped: a coalescing submit can attach in the instant
+            # between the worker stamping completion and unpublishing.)
+            log.latencies.append(max(0.0, ticket.completed_at - t0))
+        except Exception:
+            log.errors += 1
+    return [log]
+
+
+def run_workload(
+    gateway: AlignmentGateway,
+    config: Optional[WorkloadConfig] = None,
+    pool: Optional[List[AlignRequest]] = None,
+) -> Dict[str, Any]:
+    """Drive ``gateway`` with the configured traffic; returns the report.
+
+    The report is JSON-able: the config echo, request counts (ok /
+    errors / admission rejections / closed-loop retries), wall-clock
+    throughput, client-observed latency percentiles, and the gateway's
+    own :meth:`~repro.serve.gateway.AlignmentGateway.metrics` snapshot.
+    """
+    config = config or WorkloadConfig()
+    pool = pool if pool is not None else build_request_pool(config)
+    if len(pool) < config.pool_size:
+        raise ValueError("pool smaller than config.pool_size")
+    t0 = time.monotonic()
+    if config.mode == "closed":
+        logs = _run_closed(gateway, pool, config)
+    else:
+        logs = _run_open(gateway, pool, config)
+    elapsed = time.monotonic() - t0
+    latencies = sorted(lat for log in logs for lat in log.latencies)
+    ok = sum(log.ok for log in logs)
+    metrics = gateway.metrics()
+    coalesce_den = metrics["admitted"] + metrics["coalesced"]
+    return {
+        "config": asdict(config),
+        "elapsed_s": elapsed,
+        "throughput_rps": ok / elapsed if elapsed > 0 else None,
+        "requests": {
+            "issued": config.n_requests,
+            "ok": ok,
+            "errors": sum(log.errors for log in logs),
+            "rejected": sum(log.rejected for log in logs),
+            "retries": sum(log.retries for log in logs),
+        },
+        "latency": {
+            "count": len(latencies),
+            "p50_s": percentile(latencies, 0.50),
+            "p99_s": percentile(latencies, 0.99),
+            "max_s": latencies[-1] if latencies else None,
+        },
+        "coalesce_hit_rate": (
+            metrics["coalesced"] / coalesce_den if coalesce_den else 0.0
+        ),
+        "gateway": metrics,
+    }

@@ -1,6 +1,7 @@
 """AlignmentService: cache semantics, batch ordering, deduplication."""
 
 import threading
+import time
 
 import pytest
 
@@ -68,9 +69,12 @@ class TestCache:
             assert not first.cache_hit and second.cache_hit
             assert r1.alignment == r2.alignment
             assert r2 is r1  # served from cache, not recomputed
-            assert svc.stats == {
-                "hits": 1, "misses": 1, "cached": 1, "inflight": 0
-            }
+            stats = svc.stats
+            assert stats["hits"] == stats["served"] == 1
+            assert stats["misses"] == stats["computed"] == 1
+            assert stats["cached"] == 1 and stats["inflight"] == 0
+            assert stats["evictions"] == 0
+            assert stats["cache_backend"]["backend"] == "memory"
 
     def test_different_requests_both_miss(self, req):
         with AlignmentService(max_workers=2) as svc:
@@ -86,6 +90,21 @@ class TestCache:
             svc.run(a)  # recompute
             assert counting_engine.calls == 3
             assert svc.stats["cached"] == 1
+            assert svc.stats["evictions"] == 2
+
+    def test_pluggable_backend(self, req, counting_engine):
+        """An explicit CacheBackend replaces the default memory LRU."""
+        from repro.engine.service import CacheBackend, MemoryResultCache
+
+        backend = MemoryResultCache(capacity=4)
+        assert isinstance(backend, CacheBackend)
+        with AlignmentService(max_workers=1, cache=backend) as svc:
+            svc.run(req(engine="counting"))
+        # A second service sharing the backend serves without recomputing.
+        with AlignmentService(max_workers=1, cache=backend) as svc:
+            job = svc.submit(req(engine="counting"))
+            job.wait()
+            assert job.cache_hit and counting_engine.calls == 1
 
     def test_cache_disabled(self, req, counting_engine):
         with AlignmentService(max_workers=1, cache_size=0) as svc:
@@ -195,3 +214,54 @@ class TestErrors:
         svc.close()
         with pytest.raises(RuntimeError, match="closed"):
             svc.submit(req())
+
+
+class TestLifecycle:
+    def test_close_drains_inflight_jobs(self, req, counting_engine):
+        """close() blocks until running jobs finish; their results remain."""
+        counting_engine.release.clear()  # hold the engine mid-run
+        svc = AlignmentService(max_workers=1)
+        job = svc.submit(req(engine="counting"))
+        assert counting_engine.started.wait(timeout=10)
+        threading.Timer(0.05, counting_engine.release.set).start()
+        svc.close()  # must wait for the in-flight job, not abandon it
+        assert job.done and job.status == "done"
+        assert job.wait().alignment.n_rows == 5
+        assert counting_engine.calls == 1
+
+    def test_concurrent_same_request_coalesces(self, req, counting_engine):
+        """Two threads submitting the same request share one computation."""
+        counting_engine.release.clear()
+        jobs = []
+        errors = []
+        barrier = threading.Barrier(2)
+
+        with AlignmentService(max_workers=4) as svc:
+            r = req(engine="counting")
+
+            def submit():
+                barrier.wait(timeout=10)
+                try:
+                    jobs.append(svc.submit(r))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            for t in threads:
+                t.start()
+            assert counting_engine.started.wait(timeout=10)
+            # Hold the engine until BOTH submissions are in: the second
+            # must arrive while the first is in flight (that in-flight
+            # window is what coalescing guarantees; a submission after
+            # completion may legitimately recompute on a cold cache).
+            deadline = time.monotonic() + 10
+            while len(jobs) + len(errors) < 2 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            counting_engine.release.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors and len(jobs) == 2
+            results = [j.wait() for j in jobs]
+            assert counting_engine.calls == 1
+            assert sum(j.cache_hit for j in jobs) == 1
+            assert results[0].alignment == results[1].alignment

@@ -120,6 +120,12 @@ class TestCommands:
         assert report["n_rows"] == 4
         assert report["request_hash"]
         assert "bucket_sizes" in report["diagnostics"]
+        # The serving-layer stats ride along in the JSON report.
+        assert report["service"]["computed"] == 1
+        assert report["service"]["misses"] == 1
+        assert "evictions" in report["service"]
+        assert report["job"]["cache_hit"] is False
+        assert report["job"]["status"] == "done"
 
     def test_align_json_to_stderr(self, fasta_file, capsys):
         rc = main(
@@ -164,3 +170,108 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "model-optimal" in out
+
+
+class TestPlan:
+    @pytest.fixture(autouse=True)
+    def _stub_calibration(self, monkeypatch):
+        from repro.perfmodel import KernelCoefficients
+        import repro.perfmodel as pm
+
+        monkeypatch.setattr(
+            pm, "calibrate_kernels", lambda: KernelCoefficients()
+        )
+
+    def test_plan_text(self, fasta_file, capsys):
+        rc = main(["plan", str(fasta_file), "--max-procs", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended workers:" in out
+        assert "efficiency" in out
+
+    def test_plan_json(self, fasta_file, tmp_path):
+        import json
+
+        out = tmp_path / "plan.json"
+        rc = main(
+            ["plan", str(fasta_file), "--max-procs", "8", "--json", str(out)]
+        )
+        assert rc == 0
+        plan = json.loads(out.read_text())
+        assert plan["n_sequences"] == 4
+        assert 1 <= plan["recommended_procs"] <= 8
+        assert plan["predicted_speedup"] is not None
+        assert "1" in plan["efficiency"]
+
+    def test_plan_json_stdout(self, fasta_file, capsys):
+        rc = main(["plan", str(fasta_file), "--max-procs", "4", "--json"])
+        assert rc == 0
+        assert '"recommended_procs"' in capsys.readouterr().out
+
+
+class TestLoadtest:
+    def test_closed_loop_repeat_mix(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        rc = main(
+            ["loadtest", "--requests", "24", "--clients", "3",
+             "--mix", "repeat", "--pool", "4", "--seed", "1",
+             "--workers", "2", "--json", str(out)]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "0 errors" in printed
+        assert "coalesce hit-rate:" in printed
+        report = json.loads(out.read_text())
+        assert report["requests"]["ok"] == 24
+        assert report["requests"]["errors"] == 0
+        assert report["latency"]["p99_s"] is not None
+        svc = report["gateway"]["service"]
+        assert svc["served"] + svc["computed"] >= 24 - report["gateway"]["coalesced"]
+
+    def test_store_backed_loadtest_persists(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = ["loadtest", "--requests", "12", "--clients", "2",
+                "--mix", "repeat", "--pool", "3", "--seed", "2",
+                "--workers", "2", "--store", str(store)]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Second process-equivalent run: everything served from disk.
+        assert main(args) == 0
+        assert "0 errors" in capsys.readouterr().out
+        assert any(store.rglob("*.json"))
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8000 and args.queue_size == 256
+        assert args.store is None
+
+    def test_bad_gateway_options_clean_error(self, capsys):
+        rc = main(["serve", "--burst", "4"])  # burst without rate
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+        rc = main(["loadtest", "--requests", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bind_failure_clean_error(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = main(["serve", "--port", str(port)])
+            assert rc == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.close()
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.requests == 500 and args.clients == 8
+        assert args.mix == "zipf" and args.mode == "closed"

@@ -39,3 +39,4 @@ class TestLazyImports:
         import repro.perfmodel
         import repro.samplesort
         import repro.seq
+        import repro.serve
