@@ -4,7 +4,9 @@ Commands
 --------
 ``align``     Align a FASTA file with any engine in the unified registry
               (``--engine``: Sample-Align-D, the parallel baseline, or any
-              sequential system) and write gapped FASTA.
+              sequential system) and write gapped FASTA.  ``--backend``
+              picks the execution backend for distributed engines
+              (``threads`` virtual cluster vs ``processes`` real cores).
 ``generate``  Emit a rose-style synthetic family as FASTA (optionally the
               true alignment too).
 ``rank``      Print k-mer rank statistics of a FASTA file (centralized vs
@@ -15,9 +17,13 @@ Commands
 ``model``     Calibrate the performance model and print time/speedup
               projections for a given (N, L) over a processor sweep.
 ``plan``      Recommend a worker count for a FASTA workload from the
-              calibrated scalability model (Figs. 4-5).
+              calibrated scalability model (Figs. 4-5); with
+              ``--backend``, probe and prefer the backend's *measured*
+              throughput on this host.
 ``serve``     Start the alignment-serving HTTP gateway (admission
-              control, coalescing, optional disk-backed result store).
+              control, coalescing, optional disk-backed result store;
+              ``--backend processes`` runs distributed requests on real
+              cores).
 ``loadtest``  Drive an in-process gateway with seeded synthetic traffic
               and report throughput/latency/hit-rates.
 """
@@ -82,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded initial block distribution (Sample-Align-D)",
     )
     p_align.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for distributed engines: 'threads' "
+        "(default; virtual cluster, best modeled-time fidelity, GIL-bound "
+        "compute) or 'processes' (one OS process per rank; use it to "
+        "actually parallelize on a multi-core host). Alignments are "
+        "byte-identical across backends.",
+    )
+    p_align.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -133,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-procs", type=int, default=64, help="largest count considered"
     )
     p_plan.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="also probe this execution backend's measured throughput "
+        "('threads' or 'processes') on a workload subsample, and "
+        "recommend from the measurement rather than the calibrated "
+        "model alone (the model assumes one real core per rank, which "
+        "the threads backend cannot honour)",
+    )
+    p_plan.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -175,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--burst", type=float, default=None,
         help="per-client token-bucket burst (default 2x rate)",
     )
+    p_serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for distributed requests that "
+        "don't choose one ('threads' or 'processes'; pick 'processes' "
+        "to serve Sample-Align-D on real cores)",
+    )
 
     p_load = sub.add_parser(
         "loadtest", help="drive an in-process gateway with synthetic traffic"
@@ -207,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="back the gateway with a disk result store at DIR",
     )
     p_load.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for distributed requests "
+        "('threads' or 'processes')",
+    )
+    p_load.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -233,7 +274,18 @@ def _cmd_align(args: argparse.Namespace) -> int:
     try:
         config = None
         if engine.lower() == "sample-align-d":
-            config = SampleAlignDConfig(local_aligner=args.local_aligner)
+            config = SampleAlignDConfig(
+                local_aligner=args.local_aligner, backend=args.backend
+            )
+        elif args.backend is not None:
+            print(
+                f"error: --backend currently applies only to the "
+                f"sample-align-d engine, not {engine!r} (the "
+                f"parallel-baseline SPMD program is closure-based and "
+                f"sequential engines have no ranks to place)",
+                file=sys.stderr,
+            )
+            return 2
         request = AlignRequest(
             sequences=tuple(seqs),
             engine=engine,
@@ -323,9 +375,22 @@ def _cmd_aligners(_args: argparse.Namespace) -> int:
 
 def _cmd_engines(_args: argparse.Namespace) -> int:
     from repro.engine import available_engines
+    from repro.parcomp.backends import available_backends
 
     for name, kind in available_engines().items():
         print(f"{name:<20} {kind}")
+    print(
+        f"\nexecution backends for distributed engines (--backend): "
+        f"{', '.join(available_backends())}"
+    )
+    print(
+        "  threads:   virtual cluster -- modeled-time fidelity, compute "
+        "GIL-bound to one core"
+    )
+    print(
+        "  processes: one OS process per rank -- wall clock scales with "
+        "host cores, identical output"
+    )
     return 0
 
 
@@ -369,6 +434,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         calibrate_kernels,
         comm_compute_crossover,
         efficiency_curve,
+        measure_backend_throughput,
         optimal_processors,
         predict_sequential_time,
         predict_total_time,
@@ -393,6 +459,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     eff = efficiency_curve(n, mean_length, sweep, coeffs)
     crossover = comm_compute_crossover(n, mean_length, coeffs)
 
+    probe = None
+    if args.backend is not None:
+        try:
+            print(
+                f"probing measured {args.backend!r} throughput on a "
+                "workload subsample...",
+                file=sys.stderr,
+            )
+            probe = measure_backend_throughput(
+                seqs,
+                args.backend,
+                procs=[p for p in (1, 2, 4, best) if p <= args.max_procs],
+            )
+        except (KeyError, ValueError) as exc:
+            msg = exc.args[0] if exc.args else str(exc)
+            print(f"error: {msg}", file=sys.stderr)
+            return 2
+
     plan = {
         "input": args.input,
         "n_sequences": n,
@@ -406,20 +490,54 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             str(p): float(e) for p, e in zip(sweep, eff)
         },
     }
+    if probe is not None:
+        # The model assumes one real core per rank; the measurement is
+        # the authority on what this backend delivers on this host.
+        plan["backend_probe"] = probe
+        plan["recommended_procs_model"] = best
+        probed = sorted(int(k) for k in probe["wall_s"])
+        p_max = probed[-1]
+        measured_best = probe["best_procs"]
+        if best <= p_max or measured_best < p_max:
+            # The model's pick was probed outright, or scaling already
+            # flattened inside the probed range: measurement decides.
+            plan["recommended_procs"] = measured_best
+        else:
+            # Still scaling at the probe edge (the subsample cannot
+            # host the model's larger pick): trust the model up to the
+            # physical core budget the measurement is subject to.
+            plan["recommended_procs"] = max(
+                measured_best, min(best, probe["host_cores"])
+            )
     if args.json is not None:
         _emit_json(plan, args.json)
         return 0
     print(f"workload: N={n} mean_length={mean_length:.0f}")
     print(f"{'p':>4} {'efficiency':>11}")
     for p, e in zip(sweep, eff):
-        marker = "  <- recommended" if p == best else ""
+        marker = "  <- model pick" if p == best else ""
         print(f"{p:>4} {e:>11.2f}{marker}")
     print(
-        f"\nrecommended workers: {best} "
+        f"\nmodel-recommended workers: {best} "
         f"(~{t_best:.1f}s vs ~{t_seq:.1f}s sequential, "
         f"{t_seq / max(t_best, 1e-12):.1f}x)"
     )
     print(f"communication overtakes compute at p={crossover}")
+    if probe is not None:
+        walls = ", ".join(
+            f"p={p}: {w:.2f}s" for p, w in sorted(
+                probe["wall_s"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        print(
+            f"measured {probe['backend']} backend "
+            f"(subsample N={probe['n_probe']}, "
+            f"{probe['host_cores']} host cores): {walls}"
+        )
+        print(
+            f"recommended workers from measured throughput: "
+            f"{plan['recommended_procs']}"
+        )
     return 0
 
 
@@ -454,6 +572,7 @@ def _build_gateway(args: argparse.Namespace):
         max_queue=args.queue_size,
         rate=getattr(args, "rate", None),
         burst=getattr(args, "burst", None),
+        default_backend=getattr(args, "backend", None),
     )
 
 

@@ -65,6 +65,12 @@ class SampleAlignDConfig:
         the glue (the other half; 0 = off).
     sort_stable_by_id:
         Break rank ties by sequence id so runs are order-independent.
+    backend:
+        Execution backend running the SPMD ranks: ``"threads"`` (the
+        default virtual cluster; best modeled-time fidelity, GIL-bound)
+        or ``"processes"`` (one OS process per rank; real parallel
+        compute on multi-core hosts).  ``None`` defers to the caller /
+        launcher default.  Backends produce byte-identical alignments.
     """
 
     rank_config: RankConfig = field(default_factory=RankConfig)
@@ -83,8 +89,17 @@ class SampleAlignDConfig:
     refine_local_rounds: int = 0
     post_refine_rounds: int = 0
     sort_stable_by_id: bool = True
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.parcomp.backends import available_backends
+
+            if self.backend.lower() not in available_backends():
+                raise ValueError(
+                    f"backend {self.backend!r} is not a registered "
+                    f"execution backend; available: {available_backends()}"
+                )
         if self.samples_per_proc is not None and self.samples_per_proc < 1:
             raise ValueError("samples_per_proc must be >= 1 (or None)")
         if not 0.0 <= self.ancestor_min_occupancy <= 1.0:
@@ -133,6 +148,7 @@ class SampleAlignDConfig:
             "refine_local_rounds": self.refine_local_rounds,
             "post_refine_rounds": self.post_refine_rounds,
             "sort_stable_by_id": self.sort_stable_by_id,
+            "backend": self.backend,
         }
 
     @classmethod

@@ -49,6 +49,9 @@ class MsaResult:
         The ancestor template used for fine tuning (None for 1 rank).
     config:
         The configuration the run used.
+    backend:
+        Name of the execution backend that ran the SPMD ranks
+        (``"threads"`` or ``"processes"``).
     """
 
     alignment: Alignment
@@ -59,6 +62,7 @@ class MsaResult:
     diagnostics: List[RankDiagnostics]
     global_ancestor: Optional[Sequence]
     config: SampleAlignDConfig
+    backend: str = "threads"
 
     @property
     def modeled_time(self) -> float:
@@ -83,7 +87,8 @@ class MsaResult:
         bs = self.bucket_sizes
         return (
             f"Sample-Align-D: N={self.alignment.n_rows} p={self.n_procs} "
-            f"cols={self.alignment.n_columns} SP={self.sp:.1f}\n"
+            f"cols={self.alignment.n_columns} SP={self.sp:.1f} "
+            f"backend={self.backend}\n"
             f"wall={self.wall_time:.2f}s modeled={self.modeled_time:.3f}s "
             f"comm={self.ledger.total_bytes()}B/{self.ledger.n_messages()}msg\n"
             f"buckets min/mean/max = {bs.min()}/{bs.mean():.1f}/{bs.max()} "
@@ -97,6 +102,7 @@ def sample_align_d(
     config: SampleAlignDConfig | None = None,
     cost_model: CostModel | None = None,
     seed: int | None = None,
+    backend: str | None = None,
 ) -> MsaResult:
     """Align ``seqs`` with Sample-Align-D on a virtual ``n_procs`` cluster.
 
@@ -116,6 +122,11 @@ def sample_align_d(
         instead of input order (models "randomly selected sequences
         placed on the nodes"); the *output* row order always follows the
         input regardless.
+    backend:
+        Execution backend name (``"threads"``/``"processes"``; see
+        :mod:`repro.parcomp.backends`).  An explicit argument wins over
+        ``config.backend``; both ``None`` means the launcher default
+        (``"threads"``).  The alignment is byte-identical either way.
     """
     sset = seqs if isinstance(seqs, SequenceSet) else SequenceSet(seqs)
     if len(sset) == 0:
@@ -123,6 +134,7 @@ def sample_align_d(
     if n_procs < 1:
         raise ValueError("n_procs must be >= 1")
     config = config or SampleAlignDConfig()
+    backend = backend if backend is not None else config.backend
 
     placed = sset
     if seed is not None:
@@ -138,6 +150,7 @@ def sample_align_d(
         rank_args=[(list(part),) for part in parts],
         args=(config,),
         cost_model=cost_model,
+        backend=backend,
     )
     wall = time.perf_counter() - t0
 
@@ -155,4 +168,5 @@ def sample_align_d(
         diagnostics=[res["diagnostics"] for res in spmd.results],
         global_ancestor=root.get("global_ancestor"),
         config=config,
+        backend=spmd.backend,
     )

@@ -67,26 +67,54 @@ class SequentialEngine:
 
 
 class SampleAlignDEngine:
-    """The paper's distributed pipeline behind the unified protocol."""
+    """The paper's distributed pipeline behind the unified protocol.
+
+    Parameters
+    ----------
+    cost_model:
+        Alpha-beta communication model for the modeled cluster time.
+    backend:
+        Default execution backend for runs through this engine instance
+        (``"threads"``/``"processes"``).  A request whose config sets
+        ``backend`` wins over this default; requests can also select it
+        per-request via ``engine_kwargs={"backend": ...}`` (which builds
+        the engine with that default).
+    """
 
     name = "sample-align-d"
     kind = "distributed"
 
-    def __init__(self, cost_model=None) -> None:
+    def __init__(self, cost_model=None, backend=None) -> None:
+        if backend is not None:
+            from repro.parcomp.backends import available_backends
+
+            if str(backend).lower() not in available_backends():
+                raise ValueError(
+                    f"backend {backend!r} is not a registered execution "
+                    f"backend; available: {available_backends()}"
+                )
         self.cost_model = cost_model
+        self.backend = backend
 
     def __repr__(self) -> str:
+        if self.backend is not None:
+            return f"SampleAlignDEngine(backend={self.backend!r})"
         return "SampleAlignDEngine()"
 
     def run(self, request: AlignRequest) -> AlignResult:
         from repro.core.driver import sample_align_d
 
+        # Per-request config wins over the engine-instance default.
+        backend = self.backend
+        if request.config is not None and request.config.backend is not None:
+            backend = request.config.backend
         result = sample_align_d(
             request.sequence_set(),
             n_procs=request.n_procs,
             config=request.config,
             cost_model=self.cost_model,
             seed=request.seed,
+            backend=backend,
         )
         diagnostics: Dict[str, Any] = {
             "modeled_time": result.modeled_time,
@@ -94,6 +122,7 @@ class SampleAlignDEngine:
             "n_messages": int(result.ledger.n_messages()),
             "bucket_sizes": [int(b) for b in result.bucket_sizes],
             "local_aligner": result.config.local_aligner,
+            "backend": result.backend,
         }
         return AlignResult(
             alignment=result.alignment,

@@ -1,8 +1,8 @@
-"""Virtual message-passing cluster.
+"""Virtual message-passing cluster with pluggable execution backends.
 
 The paper runs on a 16-node Beowulf cluster via MPI.  This subpackage
-provides the substitution documented in DESIGN.md: ranks execute as
-threads over an in-process fabric exposing an mpi4py-style API
+provides the substitution documented in DESIGN.md: ranks execute an
+mpi4py-style API
 (``send/recv/bcast/scatter/gather/allgather/alltoall/barrier/reduce``),
 every payload is metered in bytes, and a latency/bandwidth cost model
 drives per-rank *logical clocks* so that a run yields both real wall time
@@ -10,25 +10,50 @@ and a modeled cluster time (max over ranks of compute + modeled
 communication, the coarse-grained model the paper itself uses in its
 section-3 analysis).
 
+*Where* the ranks execute is an :class:`ExecutionBackend`: ``"threads"``
+(the original in-process fabric -- modeled-time fidelity, GIL-bound
+compute) or ``"processes"`` (one OS process per rank over queues -- real
+parallel compute on multi-core hosts).  Both produce byte-identical
+program results and equivalent ledgers.
+
 - :mod:`repro.parcomp.cost` -- cost model, payload sizing, event ledger.
-- :mod:`repro.parcomp.comm` -- the fabric and :class:`VirtualComm`.
-- :mod:`repro.parcomp.launcher` -- the threaded SPMD launcher.
+- :mod:`repro.parcomp.comm` -- the transport seam and :class:`VirtualComm`.
+- :mod:`repro.parcomp.backends` -- the execution backends and registry.
+- :mod:`repro.parcomp.launcher` -- the SPMD launcher (``run_spmd``).
 """
 
 from repro.parcomp.cost import CommEvent, CostModel, TimingLedger, estimate_nbytes
-from repro.parcomp.comm import Fabric, SpmdAbort, VirtualComm
-from repro.parcomp.launcher import SpmdResult, run_spmd
+from repro.parcomp.comm import Fabric, SpmdAbort, Transport, VirtualComm
+from repro.parcomp.backends import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    ProcessBackend,
+    SpmdResult,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.parcomp.launcher import run_spmd
 from repro.parcomp.trace import render_timeline, render_traffic, traffic_matrix
 
 __all__ = [
     "CommEvent",
     "CostModel",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
     "Fabric",
+    "ProcessBackend",
     "SpmdAbort",
     "SpmdResult",
+    "ThreadBackend",
     "TimingLedger",
+    "Transport",
     "VirtualComm",
+    "available_backends",
     "estimate_nbytes",
+    "get_backend",
+    "register_backend",
     "render_timeline",
     "render_traffic",
     "run_spmd",

@@ -1,4 +1,4 @@
-"""The message fabric and the mpi4py-style :class:`VirtualComm`.
+"""The message transports and the mpi4py-style :class:`VirtualComm`.
 
 Point-to-point semantics: ``send`` is buffered (never blocks); ``recv``
 blocks until the matching ``(source, tag)`` message arrives.  Collectives
@@ -13,10 +13,18 @@ time between communication calls (``time.thread_time`` -- unaffected by
 the other rank threads sharing the host core), by ``alpha + beta*nbytes``
 per sent message, and synchronises with the sender's clock on receive.
 The final clocks give the modeled cluster time of the run.
+
+:class:`Transport` is the seam between :class:`VirtualComm` (the rank-side
+API and clock bookkeeping, shared by every execution backend) and how
+bytes actually move.  :class:`Fabric` is the in-process implementation
+(one shared mailbox, rank threads); the ``processes`` backend in
+:mod:`repro.parcomp.backends` provides a pipe/queue implementation with
+one OS process per rank.
 """
 
 from __future__ import annotations
 
+import abc
 import threading
 import time
 from collections import deque
@@ -24,17 +32,56 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.parcomp.cost import CommEvent, CostModel, TimingLedger, estimate_nbytes
 
-__all__ = ["Fabric", "VirtualComm", "SpmdAbort"]
-
-_POLL_S = 0.05
+__all__ = ["Fabric", "Transport", "VirtualComm", "SpmdAbort"]
 
 
 class SpmdAbort(RuntimeError):
     """Raised in surviving ranks when another rank failed."""
 
 
-class Fabric:
-    """Shared state of one virtual-cluster run."""
+class Transport(abc.ABC):
+    """What :class:`VirtualComm` needs from a message-moving substrate.
+
+    One instance is visible to each rank (the threads backend shares a
+    single :class:`Fabric` across rank threads; the processes backend
+    gives every rank process its own per-rank proxy).  Implementations
+    own a :class:`~repro.parcomp.cost.TimingLedger` that the rank's
+    :meth:`VirtualComm.finalize` writes its totals into.
+    """
+
+    n_ranks: int
+    cost_model: CostModel
+    ledger: TimingLedger
+
+    @abc.abstractmethod
+    def post(self, src: int, dst: int, tag: int, payload: Any,
+             ready_time: float, nbytes: int, kind: str) -> None:
+        """Deliver one metered message into ``dst``'s mailbox."""
+
+    @abc.abstractmethod
+    def collect(self, dst: int, src: int, tag: int) -> Tuple[Any, float]:
+        """Block until the matching message arrives; ``(payload, ready)``."""
+
+    @abc.abstractmethod
+    def barrier(self, clock: float) -> float:
+        """Synchronise all ranks; returns the max clock across them."""
+
+    @abc.abstractmethod
+    def fail(self, exc: BaseException) -> None:
+        """Mark the run failed and wake every blocked rank."""
+
+    @abc.abstractmethod
+    def check_failed(self) -> None:
+        """Raise :class:`SpmdAbort` if any rank has failed."""
+
+
+class Fabric(Transport):
+    """Shared state of one virtual-cluster run (the in-process transport).
+
+    Blocked ranks park on a condition variable and are woken by the
+    matching :meth:`post`, barrier completion, or :meth:`fail` -- there is
+    no sleep-poll, so an idle rank costs nothing until its message lands.
+    """
 
     def __init__(self, n_ranks: int, cost_model: CostModel | None = None) -> None:
         if n_ranks < 1:
@@ -87,7 +134,9 @@ class Fabric:
                 box = self._mail.get(key)
                 if box:
                     return box.popleft()
-                self._cond.wait(timeout=_POLL_S)
+                # Pure condition wait: post()/fail() notify, so there is
+                # no wakeup to poll for.
+                self._cond.wait()
 
     # -- barrier ----------------------------------------------------------------------
 
@@ -109,7 +158,8 @@ class Fabric:
                         raise SpmdAbort(
                             f"another rank failed: {self._failed!r}"
                         )
-                    self._cond.wait(timeout=_POLL_S)
+                    # Woken by the last arrival's notify_all or by fail().
+                    self._cond.wait()
             return self._barrier_results[gen]
 
 
@@ -117,11 +167,15 @@ class VirtualComm:
     """Per-rank communicator (mpi4py-flavoured API subset).
 
     Lower-case methods move arbitrary Python payloads, like mpi4py's
-    pickle path; there is no upper-case buffer API because the fabric is
-    in-process (payloads move by reference, only their *size* is modeled).
+    pickle path; there is no upper-case buffer API because payload sizes,
+    not bytes, are what the cost model meters.  The communicator is
+    backend-agnostic: it talks to any :class:`Transport` (the in-process
+    :class:`Fabric`, or the processes backend's per-rank queue proxy) and
+    keeps all clock bookkeeping on this side of the seam so every backend
+    meters communication identically.
     """
 
-    def __init__(self, fabric: Fabric, rank: int) -> None:
+    def __init__(self, fabric: Transport, rank: int) -> None:
         self.fabric = fabric
         self.rank = rank
         self._clock = 0.0
@@ -170,6 +224,10 @@ class VirtualComm:
     def send(self, obj: Any, dest: int, tag: int = 0, _kind: str = "send") -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"bad destination rank {dest}")
+        if not isinstance(tag, int) or isinstance(tag, bool):
+            # Non-int tags are reserved for transport-internal control
+            # traffic (e.g. the processes backend's barrier exchange).
+            raise TypeError(f"tag must be an int, got {tag!r}")
         self._absorb_compute()
         nbytes = estimate_nbytes(obj)
         self._clock += self.fabric.cost_model.message_cost(nbytes)
@@ -180,6 +238,8 @@ class VirtualComm:
     def recv(self, source: int, tag: int = 0) -> Any:
         if not 0 <= source < self.size:
             raise ValueError(f"bad source rank {source}")
+        if not isinstance(tag, int) or isinstance(tag, bool):
+            raise TypeError(f"tag must be an int, got {tag!r}")
         self._absorb_compute()
         payload, ready = self.fabric.collect(self.rank, source, tag)
         self._clock = max(self._clock, ready)

@@ -1,37 +1,25 @@
-"""Threaded SPMD launcher for the virtual cluster.
+"""SPMD launcher over the pluggable execution backends.
 
 ``run_spmd(n_ranks, fn, ...)`` runs ``fn(comm, *args, **kwargs)`` once per
-rank, each rank on its own thread with its own :class:`VirtualComm`.  The
+rank, each rank with its own :class:`~repro.parcomp.comm.VirtualComm`.
+*Where* the ranks execute is a backend choice (see
+:mod:`repro.parcomp.backends`): ``backend="threads"`` (default) keeps the
+original in-process virtual cluster, ``backend="processes"`` gives every
+rank its own OS process so the program runs on real cores.  Either way the
 first rank failure aborts the whole job (surviving ranks raise
-:class:`SpmdAbort` out of their next blocking wait) and the original
-exception is re-raised to the caller with the failing rank attached.
+:class:`~repro.parcomp.comm.SpmdAbort` out of their next blocking wait)
+and the original exception is re-raised to the caller with the failing
+rank attached.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence as TSequence
+from typing import Any, Callable, Optional, Sequence as TSequence, Union
 
-from repro.parcomp.comm import Fabric, SpmdAbort, VirtualComm
-from repro.parcomp.cost import CostModel, TimingLedger
+from repro.parcomp.backends import ExecutionBackend, SpmdResult, get_backend
+from repro.parcomp.cost import CostModel
 
 __all__ = ["SpmdResult", "run_spmd"]
-
-
-@dataclass
-class SpmdResult:
-    """Per-rank return values plus the run's timing ledger."""
-
-    results: List[Any]
-    ledger: TimingLedger
-
-    @property
-    def n_ranks(self) -> int:
-        return self.ledger.n_ranks
-
-    def modeled_time(self) -> float:
-        return self.ledger.modeled_time()
 
 
 def run_spmd(
@@ -40,6 +28,7 @@ def run_spmd(
     args: TSequence[Any] = (),
     rank_args: Optional[TSequence[TSequence[Any]]] = None,
     cost_model: CostModel | None = None,
+    backend: Union[str, ExecutionBackend, None] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn`` as an SPMD program over ``n_ranks`` virtual ranks.
@@ -55,41 +44,21 @@ def run_spmd(
         each cluster node's disk).
     cost_model:
         Alpha-beta model for the logical clocks (default: gigabit cluster).
+    backend:
+        Execution backend: a registered name (``"threads"``,
+        ``"processes"``), an :class:`ExecutionBackend` instance, or None
+        for the default (``"threads"``).
 
     Returns
     -------
     :class:`SpmdResult` with per-rank return values (rank order) and the
-    byte/clock ledger.
+    byte/clock ledger; ``result.backend`` names the backend that ran it.
     """
-    if rank_args is not None and len(rank_args) != n_ranks:
-        raise ValueError("rank_args must provide one tuple per rank")
-    fabric = Fabric(n_ranks, cost_model)
-    results: List[Any] = [None] * n_ranks
-    errors: List[tuple] = []
-
-    def runner(rank: int) -> None:
-        comm = VirtualComm(fabric, rank)
-        try:
-            extra = tuple(rank_args[rank]) if rank_args is not None else ()
-            results[rank] = fn(comm, *extra, *args, **kwargs)
-        except SpmdAbort:
-            pass  # somebody else failed first; stay quiet
-        except BaseException as exc:  # noqa: BLE001 - propagated to caller
-            errors.append((rank, exc))
-            fabric.fail(exc)
-        finally:
-            comm.finalize()
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
-        for r in range(n_ranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if errors:
-        rank, exc = errors[0]
-        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-    return SpmdResult(results, fabric.ledger)
+    return get_backend(backend).run(
+        n_ranks,
+        fn,
+        args=args,
+        rank_args=rank_args,
+        cost_model=cost_model,
+        **kwargs,
+    )

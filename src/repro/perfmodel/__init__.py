@@ -21,6 +21,7 @@ from repro.perfmodel.planning import (
     breakeven_n,
     comm_compute_crossover,
     efficiency_curve,
+    measure_backend_throughput,
     optimal_processors,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "calibrate_kernels",
     "comm_compute_crossover",
     "efficiency_curve",
+    "measure_backend_throughput",
     "optimal_processors",
     "predict_sequential_time",
     "predict_stage_times",

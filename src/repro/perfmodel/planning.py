@@ -2,13 +2,17 @@
 
 Answers the questions a user of the system actually asks before running:
 how many processors pay off for my (N, L), where does communication
-overtake computation, and at what N does Sample-Align-D start beating
-the sequential aligner outright.
+overtake computation, at what N does Sample-Align-D start beating the
+sequential aligner outright -- and, since the calibrated model assumes
+ranks run on real cores, what a chosen *execution backend* actually
+delivers on this host (:func:`measure_backend_throughput`).
 """
 
 from __future__ import annotations
 
-from typing import Sequence as TSequence, Tuple
+import os
+import time
+from typing import Any, Dict, Optional, Sequence as TSequence, Tuple
 
 import numpy as np
 
@@ -25,6 +29,7 @@ __all__ = [
     "efficiency_curve",
     "comm_compute_crossover",
     "breakeven_n",
+    "measure_backend_throughput",
 ]
 
 
@@ -124,3 +129,61 @@ def breakeven_n(
         else:
             lo = mid + 1
     return lo
+
+
+def measure_backend_throughput(
+    seqs: TSequence,
+    backend: str,
+    procs: Optional[TSequence[int]] = None,
+    probe_size: int = 24,
+    config=None,
+) -> Dict[str, Any]:
+    """Measure a backend's real Sample-Align-D throughput on this host.
+
+    The calibrated model predicts *cluster* time assuming every rank has
+    its own processor; the ``threads`` backend breaks that assumption
+    (the GIL serialises rank compute) while ``processes`` honours it up
+    to the host's core count.  This probe aligns an evenly-spaced
+    subsample of ``seqs`` (at most ``probe_size`` sequences) at each
+    rank count in ``procs`` with the given backend and measures real
+    wall time, so a plan can recommend from *measured* backend
+    throughput rather than the model alone.
+
+    Returns a JSON-able dict: per-p wall seconds, measured speedups over
+    p=1, the best measured rank count, and the host core count that
+    bounds what ``processes`` can deliver.
+    """
+    from repro.core.config import SampleAlignDConfig
+    from repro.core.driver import sample_align_d
+
+    seqs = list(seqs)
+    if not seqs:
+        raise ValueError("no sequences to probe")
+    if probe_size < 2:
+        raise ValueError("probe_size must be >= 2")
+    step = max(len(seqs) // probe_size, 1)
+    sample = seqs[::step][:probe_size]
+    host_cores = os.cpu_count() or 1
+    if procs is None:
+        procs = [1, 2, 4]
+    procs = sorted({int(p) for p in procs if 1 <= int(p) <= len(sample)})
+    if not procs:
+        procs = [1]
+    base = config or SampleAlignDConfig()
+    walls: Dict[int, float] = {}
+    for p in procs:
+        t0 = time.perf_counter()
+        sample_align_d(sample, n_procs=p, config=base, backend=backend)
+        walls[p] = time.perf_counter() - t0
+    t1 = walls.get(1)
+    best = min(walls, key=lambda p: walls[p])
+    return {
+        "backend": backend,
+        "n_probe": len(sample),
+        "host_cores": host_cores,
+        "wall_s": {str(p): w for p, w in walls.items()},
+        "speedup": {
+            str(p): (t1 / w if t1 else None) for p, w in walls.items()
+        },
+        "best_procs": int(best),
+    }

@@ -210,6 +210,13 @@ class AlignmentGateway:
     max_tickets:
         Bound on the ticket lookup table (oldest tickets are forgotten
         first; their computations are unaffected).
+    default_backend:
+        Execution backend applied to distributed requests that do not
+        choose one themselves (no ``config`` and no ``backend`` engine
+        kwarg) -- how ``repro serve --backend processes`` puts every
+        plain Sample-Align-D request on real cores.  Applied at
+        admission, *before* hashing, so coalescing and the result cache
+        key see the effective request.
     """
 
     def __init__(
@@ -223,9 +230,19 @@ class AlignmentGateway:
         latency_window: int = 4096,
         max_tickets: int = 4096,
         close_service: bool = True,
+        default_backend: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if default_backend is not None:
+            from repro.parcomp.backends import available_backends
+
+            if default_backend.lower() not in available_backends():
+                raise ValueError(
+                    f"default_backend {default_backend!r} is not a "
+                    f"registered execution backend; available: "
+                    f"{available_backends()}"
+                )
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if rate is not None and rate <= 0:
@@ -247,6 +264,7 @@ class AlignmentGateway:
         self._max_tickets = max_tickets
         self._rate = rate
         self._burst = resolved_burst
+        self._default_backend = default_backend
         # LRU-bounded: client_id comes off the wire, so an unbounded
         # table is a memory leak under adversarial ids.  (Per-client
         # limiting with open identities can always be dodged by minting
@@ -323,6 +341,7 @@ class AlignmentGateway:
             raise ValueError(
                 f"unknown priority {priority!r} (one of {sorted(PRIORITIES)})"
             ) from None
+        request = self._effective_request(request)
         key = request.content_hash()
         with self._lock:
             if self._closed:
@@ -372,6 +391,29 @@ class AlignmentGateway:
             while len(self._tickets) > self._max_tickets:
                 self._tickets.popitem(last=False)
         return ticket
+
+    def _effective_request(self, request: AlignRequest) -> AlignRequest:
+        """Fold the gateway's default backend into an unopinionated request.
+
+        Only distributed engines with no explicit choice (no config, no
+        ``backend`` engine kwarg) are rewritten; everything else passes
+        through untouched.
+        """
+        if (
+            self._default_backend is None
+            or request.engine.lower() != "sample-align-d"
+            or request.config is not None
+            or "backend" in request.engine_kwargs
+        ):
+            return request
+        import dataclasses
+
+        return dataclasses.replace(
+            request,
+            engine_kwargs={
+                **request.engine_kwargs, "backend": self._default_backend
+            },
+        )
 
     def run(
         self,
@@ -424,6 +466,7 @@ class AlignmentGateway:
         out: Dict[str, Any] = dict(counters)
         out["queue_depth"] = self._queue.qsize()
         out["inflight"] = inflight
+        out["default_backend"] = self._default_backend
         out["latency"] = {
             "count": len(latencies),
             "p50_s": percentile(latencies, 0.50),

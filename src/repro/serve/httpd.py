@@ -12,6 +12,12 @@ A thin JSON-over-HTTP surface on top of
   With ``wait`` true (the default) the response is ``200`` with
   ``{"ticket": ..., "result": ...}``; with ``wait`` false it is ``202``
   with the ticket only, and the client polls the job endpoint.
+
+  Distributed requests choose their execution backend like any other
+  knob: ``{"request": {"engine": "sample-align-d", "engine_kwargs":
+  {"backend": "processes"}, ...}}`` (or ``config.backend`` inside a full
+  config dict).  Requests that stay silent inherit the gateway's
+  ``default_backend`` (the ``repro serve --backend`` flag).
 - ``GET /jobs/<ticket_id>`` -- ticket status, plus the result once done.
 - ``GET /healthz`` -- liveness (``{"status": "ok"}``).
 - ``GET /metrics`` -- :meth:`AlignmentGateway.metrics` as JSON.

@@ -1,0 +1,83 @@
+"""Backend selection through the unified engine API and service."""
+
+import pytest
+
+from repro.core.config import SampleAlignDConfig
+from repro.engine import AlignRequest, AlignmentService, get_engine
+
+
+@pytest.fixture(scope="module")
+def seqs(request):
+    family = request.getfixturevalue("small_family")
+    return tuple(family.sequences)
+
+
+class TestEngineFactory:
+    def test_engine_kwargs_build_backend_engine(self):
+        engine = get_engine("sample-align-d", backend="processes")
+        assert engine.backend == "processes"
+        assert "processes" in repr(engine)
+
+    def test_bad_backend_rejected_at_factory(self):
+        with pytest.raises(ValueError, match="not a registered execution"):
+            get_engine("sample-align-d", backend="gpu")
+
+
+class TestRequestPaths:
+    def test_engine_kwargs_backend_runs_processes(self, seqs):
+        request = AlignRequest(
+            sequences=seqs,
+            engine="sample-align-d",
+            n_procs=2,
+            engine_kwargs={"backend": "processes"},
+        )
+        with AlignmentService(max_workers=1) as svc:
+            result = svc.run(request)
+        assert result.diagnostics["backend"] == "processes"
+
+    def test_config_backend_wins_over_engine_default(self, seqs):
+        engine = get_engine("sample-align-d", backend="processes")
+        request = AlignRequest(
+            sequences=seqs,
+            engine="sample-align-d",
+            n_procs=2,
+            config=SampleAlignDConfig(backend="threads"),
+        )
+        result = engine.run(request)
+        assert result.diagnostics["backend"] == "threads"
+
+    def test_default_is_threads(self, seqs):
+        request = AlignRequest(
+            sequences=seqs, engine="sample-align-d", n_procs=2
+        )
+        with AlignmentService(max_workers=1) as svc:
+            result = svc.run(request)
+        assert result.diagnostics["backend"] == "threads"
+
+    def test_backend_affects_cache_key(self, seqs):
+        """Requests differing only in backend are distinct jobs."""
+        base = dict(sequences=seqs, engine="sample-align-d", n_procs=2)
+        r_threads = AlignRequest(
+            config=SampleAlignDConfig(backend="threads"), **base
+        )
+        r_procs = AlignRequest(
+            config=SampleAlignDConfig(backend="processes"), **base
+        )
+        assert r_threads.content_hash() != r_procs.content_hash()
+        with AlignmentService(max_workers=1) as svc:
+            a = svc.run(r_threads)
+            b = svc.run(r_procs)
+            assert svc.stats["computed"] == 2
+        # ... but the alignment bytes agree (the backend contract).
+        assert a.alignment.to_fasta() == b.alignment.to_fasta()
+
+    def test_round_trip_request_with_backend(self, seqs):
+        request = AlignRequest(
+            sequences=seqs,
+            engine="sample-align-d",
+            n_procs=2,
+            config=SampleAlignDConfig(backend="processes"),
+        )
+        restored = AlignRequest.from_dict(request.to_dict())
+        assert restored.config.backend == "processes"
+        assert restored.content_hash() == request.content_hash()

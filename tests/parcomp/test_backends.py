@@ -1,0 +1,350 @@
+"""Backend equivalence: threads and processes must be indistinguishable.
+
+The contract of :mod:`repro.parcomp.backends` is that *where* ranks run
+is invisible to the program: identical results, identical message
+patterns, identical failure semantics.  Everything here is parametrized
+over both backends and, where it matters, asserts cross-backend equality
+outright.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleAlignDConfig
+from repro.core.driver import sample_align_d
+from repro.parcomp import (
+    CostModel,
+    ExecutionBackend,
+    ProcessBackend,
+    SpmdAbort,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_spmd,
+)
+from repro.parcomp.backends import unregister_backend
+
+BACKENDS = ["threads", "processes"]
+
+
+# -- module-level SPMD programs (picklable for the processes backend) -------
+
+
+def _ring(comm):
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    comm.send(comm.rank, nxt, tag=1)
+    return comm.recv(prv, tag=1)
+
+
+def _collective_mix(comm):
+    word = comm.bcast("seed" if comm.rank == 0 else None, root=0)
+    part = comm.scatter(
+        [i * 10 for i in range(comm.size)] if comm.rank == 0 else None, root=0
+    )
+    comm.barrier()
+    everyone = comm.allgather(part + comm.rank)
+    total = comm.allreduce(comm.rank + 1, op=lambda a, b: a + b)
+    return (word, everyone, total)
+
+
+def _fail_on_rank_one(comm):
+    if comm.rank == 1:
+        raise ValueError("injected rank failure")
+    comm.recv((comm.rank + 1) % comm.size, tag=9)
+
+
+def _send_array(comm):
+    comm.send(np.zeros(50), (comm.rank + 1) % comm.size, tag=2)
+    comm.recv((comm.rank - 1) % comm.size, tag=2)
+    comm.charge_compute(0.25)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "threads" in available_backends()
+        assert "processes" in available_backends()
+
+    def test_get_backend_default_is_threads(self):
+        assert isinstance(get_backend(), ThreadBackend)
+
+    def test_get_backend_by_name_case_insensitive(self):
+        assert isinstance(get_backend("PROCESSES"), ProcessBackend)
+
+    def test_get_backend_passthrough_instance(self):
+        be = ThreadBackend()
+        assert get_backend(be) is be
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            get_backend("gpu")
+
+    def test_register_and_unregister(self):
+        class Custom(ThreadBackend):
+            name = "custom"
+
+        register_backend("custom", Custom)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("custom", Custom)
+            assert isinstance(get_backend("custom"), Custom)
+        finally:
+            unregister_backend("custom")
+        assert "custom" not in available_backends()
+        with pytest.raises(KeyError):
+            unregister_backend("custom")
+
+    def test_bad_process_start_method(self):
+        with pytest.raises(ValueError, match="start method"):
+            ProcessBackend(start_method="teleport")
+
+    def test_validation_shared_across_backends(self):
+        for name in BACKENDS:
+            with pytest.raises(ValueError):
+                run_spmd(0, _ring, backend=name)
+            with pytest.raises(ValueError, match="one tuple per rank"):
+                run_spmd(2, _ring, rank_args=[()], backend=name)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestProgramEquivalence:
+    def test_ring(self, backend):
+        res = run_spmd(5, _ring, backend=backend)
+        assert res.results == [(r - 1) % 5 for r in range(5)]
+        assert res.backend == backend
+
+    def test_collectives(self, backend):
+        size = 4
+        res = run_spmd(size, _collective_mix, backend=backend)
+        expect_gather = [i * 10 + i for i in range(size)]
+        for word, everyone, total in res.results:
+            assert word == "seed"
+            assert everyone == expect_gather
+            assert total == size * (size + 1) // 2
+
+    def test_abort_propagates_and_nothing_leaks(self, backend):
+        with pytest.raises(RuntimeError, match="rank 1 failed") as exc_info:
+            run_spmd(3, _fail_on_rank_one, backend=backend)
+        assert isinstance(exc_info.value.__cause__, ValueError)
+        # Hardened shutdown: no rank may outlive the launcher.
+        assert mp.active_children() == []
+
+    def test_metering_and_charge_compute(self, backend):
+        res = run_spmd(3, _send_array, backend=backend)
+        sends = [e for e in res.ledger.events if e.kind == "send"]
+        assert len(sends) == 3
+        assert all(e.nbytes == 400 for e in sends)
+        assert (res.ledger.compute >= 0.25).all()
+        assert res.modeled_time() >= 0.25
+
+
+class TestCrossBackendLedgers:
+    def test_message_pattern_identical(self):
+        """Same program, same per-rank event counts and bytes, any backend."""
+        by_backend = {
+            name: run_spmd(4, _collective_mix, backend=name)
+            for name in BACKENDS
+        }
+
+        def per_rank(res):
+            counts = [0] * 4
+            nbytes = [0] * 4
+            for e in res.ledger.events:
+                counts[e.src] += 1
+                nbytes[e.src] += e.nbytes
+            return counts, nbytes
+
+        t_counts, t_bytes = per_rank(by_backend["threads"])
+        p_counts, p_bytes = per_rank(by_backend["processes"])
+        assert t_counts == p_counts
+        assert t_bytes == p_bytes
+        assert (
+            by_backend["threads"].ledger.bytes_by_kind()
+            == by_backend["processes"].ledger.bytes_by_kind()
+        )
+
+    def test_modeled_message_cost_identical(self):
+        slow = CostModel(alpha=0.5, beta=0.0)
+        times = {
+            name: run_spmd(2, _ring, cost_model=slow, backend=name)
+            for name in BACKENDS
+        }
+        for res in times.values():
+            assert res.modeled_time() >= 0.5
+        assert (
+            times["threads"].ledger.modeled_comm_time()
+            == pytest.approx(times["processes"].ledger.modeled_comm_time())
+        )
+
+
+class TestSampleAlignDEquivalence:
+    @pytest.fixture(scope="class")
+    def family(self, diverse_family):
+        return list(diverse_family.sequences)[:24]
+
+    @pytest.fixture(scope="class")
+    def runs(self, family):
+        return {
+            name: sample_align_d(family, n_procs=4, backend=name)
+            for name in BACKENDS
+        }
+
+    def test_identical_alignments(self, runs):
+        assert (
+            runs["threads"].alignment.to_fasta()
+            == runs["processes"].alignment.to_fasta()
+        )
+
+    def test_identical_sp_scores(self, runs):
+        assert runs["threads"].sp == pytest.approx(runs["processes"].sp)
+
+    def test_identical_per_rank_message_counts(self, runs):
+        def counts(res):
+            out = [0] * res.n_procs
+            for e in res.ledger.events:
+                out[e.src] += 1
+            return out
+
+        assert counts(runs["threads"]) == counts(runs["processes"])
+
+    def test_backend_recorded(self, runs):
+        for name, res in runs.items():
+            assert res.backend == name
+            assert f"backend={name}" in res.summary()
+
+    def test_config_backend_drives_run(self, family):
+        res = sample_align_d(
+            family[:8],
+            n_procs=2,
+            config=SampleAlignDConfig(backend="processes"),
+        )
+        assert res.backend == "processes"
+
+    def test_explicit_backend_wins_over_config(self, family):
+        res = sample_align_d(
+            family[:8],
+            n_procs=2,
+            config=SampleAlignDConfig(backend="processes"),
+            backend="threads",
+        )
+        assert res.backend == "threads"
+
+    def test_unknown_backend_fails_fast(self, family):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            sample_align_d(family[:8], n_procs=2, backend="bogus")
+
+
+class TestConfigBackendField:
+    def test_round_trip(self):
+        cfg = SampleAlignDConfig(backend="processes")
+        assert cfg.to_dict()["backend"] == "processes"
+        assert SampleAlignDConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_default_none_round_trip(self):
+        cfg = SampleAlignDConfig()
+        assert cfg.to_dict()["backend"] is None
+        assert SampleAlignDConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_legacy_dict_without_backend(self):
+        data = SampleAlignDConfig().to_dict()
+        del data["backend"]
+        assert SampleAlignDConfig.from_dict(data).backend is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not a registered"):
+            SampleAlignDConfig(backend="gpu")
+
+
+class TestCustomBackendPluggability:
+    def test_run_spmd_accepts_instance(self):
+        calls = []
+
+        class Spy(ThreadBackend):
+            name = "spy"
+
+            def run(self, *args, **kwargs):
+                calls.append(args[0])
+                return super().run(*args, **kwargs)
+
+        res = run_spmd(3, _ring, backend=Spy())
+        assert calls == [3]
+        assert res.backend == "spy"
+        assert isinstance(get_backend(ThreadBackend()), ExecutionBackend)
+
+
+def _abort_observer(comm):
+    """Rank 0 fails; others must raise SpmdAbort from their next wait."""
+    if comm.rank == 0:
+        raise RuntimeError("rank0 down")
+    try:
+        comm.recv(0, tag=3)
+    except SpmdAbort:
+        return "aborted"
+    return "no abort"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_survivors_observe_spmd_abort(backend):
+    with pytest.raises(RuntimeError, match="rank 0 failed"):
+        run_spmd(3, _abort_observer, backend=backend)
+
+
+def _fail_fast_or_sleep(comm):
+    """Rank 0 fails immediately; rank 1 is stuck in compute (no comm)."""
+    import time as _time
+
+    if comm.rank == 0:
+        raise ValueError("early failure")
+    _time.sleep(5.0)
+    return "slept"
+
+
+class TestHardenedShutdown:
+    def test_threads_abort_does_not_wait_for_stuck_rank(self):
+        import time as _time
+
+        backend = ThreadBackend(abort_join_timeout=0.5)
+        t0 = _time.monotonic()
+        with pytest.raises(RuntimeError, match="rank 0 failed") as exc_info:
+            run_spmd(2, _fail_fast_or_sleep, backend=backend)
+        elapsed = _time.monotonic() - t0
+        assert elapsed < 4.0  # did not sit out the 5 s sleep
+        assert "still unwinding" in str(exc_info.value)
+
+    def test_processes_abort_terminates_stuck_rank(self):
+        import time as _time
+
+        backend = ProcessBackend(abort_join_timeout=0.5)
+        t0 = _time.monotonic()
+        with pytest.raises(RuntimeError, match="rank 0 failed") as exc_info:
+            run_spmd(2, _fail_fast_or_sleep, backend=backend)
+        elapsed = _time.monotonic() - t0
+        assert elapsed < 4.0
+        assert "terminated while unwinding" in str(exc_info.value)
+        assert mp.active_children() == []
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(abort_join_timeout=0.0)
+        with pytest.raises(ValueError):
+            ProcessBackend(abort_join_timeout=-1.0)
+
+
+def _string_tag(comm):
+    comm.send("x", (comm.rank + 1) % comm.size, tag="__ctrl__")
+
+
+def _string_tag_recv(comm):
+    comm.recv((comm.rank + 1) % comm.size, tag="nope")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_non_int_tags_rejected(backend):
+    """Tags are ints on every backend; strings are transport-internal."""
+    with pytest.raises(RuntimeError, match="failed"):
+        run_spmd(2, _string_tag, backend=backend)
+    with pytest.raises(RuntimeError, match="failed"):
+        run_spmd(2, _string_tag_recv, backend=backend)

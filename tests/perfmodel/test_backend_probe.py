@@ -1,0 +1,40 @@
+"""Measured backend-throughput probe (the `plan --backend` machinery)."""
+
+import pytest
+
+from repro.perfmodel import measure_backend_throughput
+
+
+class TestMeasureBackendThroughput:
+    def test_probe_shape(self, small_family):
+        seqs = list(small_family.sequences)
+        out = measure_backend_throughput(seqs, "threads", procs=[1, 2])
+        assert out["backend"] == "threads"
+        assert out["n_probe"] == len(seqs)  # 12 <= probe_size
+        assert set(out["wall_s"]) == {"1", "2"}
+        assert out["speedup"]["1"] == pytest.approx(1.0)
+        assert out["best_procs"] in (1, 2)
+        assert out["host_cores"] >= 1
+
+    def test_procs_clamped_to_sample(self, small_family):
+        seqs = list(small_family.sequences)
+        out = measure_backend_throughput(
+            seqs, "threads", procs=[1, 999], probe_size=4
+        )
+        # 999 ranks cannot run on a 4-sequence subsample.
+        assert set(out["wall_s"]) == {"1"}
+        assert out["n_probe"] == 4
+
+    def test_validation(self, small_family):
+        with pytest.raises(ValueError, match="no sequences"):
+            measure_backend_throughput([], "threads")
+        with pytest.raises(ValueError, match="probe_size"):
+            measure_backend_throughput(
+                list(small_family.sequences), "threads", probe_size=1
+            )
+
+    def test_unknown_backend_raises(self, small_family):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            measure_backend_throughput(
+                list(small_family.sequences), "bogus", procs=[1]
+            )

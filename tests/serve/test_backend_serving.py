@@ -1,0 +1,134 @@
+"""Backend selection through the serving layer: gateway and HTTP."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.config import SampleAlignDConfig
+from repro.engine import AlignRequest
+from repro.serve import AlignmentGateway
+from repro.serve.httpd import serve_in_thread
+
+
+@pytest.fixture()
+def seqs(small_family):
+    return tuple(small_family.sequences)
+
+
+def _post(port, payload, timeout=120):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/align",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestGatewayDefaultBackend:
+    def test_unopinionated_request_inherits_default(self, seqs):
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            request = AlignRequest(
+                sequences=seqs, engine="sample-align-d", n_procs=2
+            )
+            result = gw.run(request, timeout=120)
+        assert result.diagnostics["backend"] == "processes"
+
+    def test_explicit_config_wins_over_default(self, seqs):
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            request = AlignRequest(
+                sequences=seqs,
+                engine="sample-align-d",
+                n_procs=2,
+                config=SampleAlignDConfig(backend="threads"),
+            )
+            result = gw.run(request, timeout=120)
+        assert result.diagnostics["backend"] == "threads"
+
+    def test_sequential_requests_untouched(self, seqs):
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            request = AlignRequest(sequences=seqs, engine="center-star")
+            ticket = gw.submit(request)
+            # The request must pass through unrewritten: same hash.
+            assert ticket.request_hash == request.content_hash()
+            ticket.wait(60)
+
+    def test_rewrite_happens_before_coalescing(self, seqs):
+        """An explicit-processes request coalesces with a defaulted one."""
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            plain = AlignRequest(
+                sequences=seqs, engine="sample-align-d", n_procs=2
+            )
+            explicit = AlignRequest(
+                sequences=seqs,
+                engine="sample-align-d",
+                n_procs=2,
+                engine_kwargs={"backend": "processes"},
+            )
+            t1 = gw.submit(plain)
+            t2 = gw.submit(explicit)
+            assert t1.request_hash == t2.request_hash
+            t1.wait(120)
+            assert gw.metrics()["coalesced"] == 1
+
+    def test_bad_default_backend_rejected(self):
+        with pytest.raises(ValueError, match="not a registered execution"):
+            AlignmentGateway(n_workers=1, default_backend="gpu")
+
+    def test_metrics_expose_default_backend(self, seqs):
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            assert gw.metrics()["default_backend"] == "processes"
+        with AlignmentGateway(n_workers=1) as gw:
+            assert gw.metrics()["default_backend"] is None
+
+
+class TestHttpBackendSelection:
+    def test_post_align_with_backend_engine_kwargs(self, seqs):
+        with AlignmentGateway(n_workers=1) as gw:
+            server, thread = serve_in_thread(gw)
+            try:
+                request = AlignRequest(
+                    sequences=seqs[:6],
+                    engine="sample-align-d",
+                    n_procs=2,
+                    engine_kwargs={"backend": "processes"},
+                )
+                status, body = _post(server.port, {"request": request.to_dict()})
+            finally:
+                server.shutdown()
+                thread.join()
+        assert status == 200
+        assert body["result"]["diagnostics"]["backend"] == "processes"
+
+    def test_post_align_with_config_backend(self, seqs):
+        with AlignmentGateway(n_workers=1) as gw:
+            server, thread = serve_in_thread(gw)
+            try:
+                request = AlignRequest(
+                    sequences=seqs[:6],
+                    engine="sample-align-d",
+                    n_procs=2,
+                    config=SampleAlignDConfig(backend="processes"),
+                )
+                status, body = _post(server.port, {"request": request.to_dict()})
+            finally:
+                server.shutdown()
+                thread.join()
+        assert status == 200
+        assert body["result"]["diagnostics"]["backend"] == "processes"
+
+    def test_gateway_default_reaches_http_clients(self, seqs):
+        with AlignmentGateway(n_workers=1, default_backend="processes") as gw:
+            server, thread = serve_in_thread(gw)
+            try:
+                request = AlignRequest(
+                    sequences=seqs[:6], engine="sample-align-d", n_procs=2
+                )
+                status, body = _post(server.port, {"request": request.to_dict()})
+            finally:
+                server.shutdown()
+                thread.join()
+        assert status == 200
+        assert body["result"]["diagnostics"]["backend"] == "processes"

@@ -275,3 +275,95 @@ class TestServeParser:
         args = build_parser().parse_args(["loadtest"])
         assert args.requests == 500 and args.clients == 8
         assert args.mix == "zipf" and args.mode == "closed"
+
+
+class TestBackendFlag:
+    def test_align_backend_processes(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "-p", "2", "--backend", "processes"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith(">a")
+        assert "backend=processes" in captured.err
+
+    def test_align_backend_threads_is_explicit_default(self, fasta_file,
+                                                       capsys):
+        rc = main(["align", str(fasta_file), "-p", "2",
+                   "--backend", "threads"])
+        assert rc == 0
+        assert "backend=threads" in capsys.readouterr().err
+
+    def test_align_backend_json_reports_backend(self, fasta_file, tmp_path):
+        import json
+
+        out = tmp_path / "run.json"
+        rc = main(["align", str(fasta_file), "-p", "2", "--backend",
+                   "processes", "-o", str(tmp_path / "aln.fasta"),
+                   "--json", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["diagnostics"]["backend"] == "processes"
+
+    def test_align_backend_rejected_for_sequential_engine(self, fasta_file,
+                                                          capsys):
+        rc = main(["align", str(fasta_file), "--engine", "center-star",
+                   "--backend", "processes"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--backend currently applies only to" in err
+
+    def test_align_unknown_backend_clean_error(self, fasta_file, capsys):
+        rc = main(["align", str(fasta_file), "--backend", "gpu"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_unknown_backend_clean_error(self, capsys):
+        rc = main(["serve", "--backend", "gpu"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_loadtest_unknown_backend_clean_error(self, capsys):
+        rc = main(["loadtest", "--backend", "gpu"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_plan_backend_probe(self, fasta_file, tmp_path, monkeypatch):
+        import json
+
+        from repro.perfmodel import KernelCoefficients
+        import repro.perfmodel as pm
+
+        monkeypatch.setattr(
+            pm, "calibrate_kernels", lambda: KernelCoefficients()
+        )
+        out = tmp_path / "plan.json"
+        rc = main(["plan", str(fasta_file), "--max-procs", "2",
+                   "--backend", "threads", "--json", str(out)])
+        assert rc == 0
+        plan = json.loads(out.read_text())
+        probe = plan["backend_probe"]
+        assert probe["backend"] == "threads"
+        assert set(probe["wall_s"]) == {"1", "2"}
+        assert probe["speedup"]["1"] == pytest.approx(1.0)
+        # The measured throughput drives the recommendation.
+        assert plan["recommended_procs"] == probe["best_procs"]
+        assert "recommended_procs_model" in plan
+
+    def test_plan_unknown_backend_clean_error(self, fasta_file, capsys,
+                                              monkeypatch):
+        from repro.perfmodel import KernelCoefficients
+        import repro.perfmodel as pm
+
+        monkeypatch.setattr(
+            pm, "calibrate_kernels", lambda: KernelCoefficients()
+        )
+        rc = main(["plan", str(fasta_file), "--backend", "gpu"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_engines_documents_backends(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "execution backends" in out
+        assert "threads" in out and "processes" in out
