@@ -1,0 +1,185 @@
+"""Distance-stage scaling -- the tiled all-pairs scheduler vs serial.
+
+Not a paper figure: the second entry of the perf trajectory the ROADMAP
+asks for (after bench_backend_scaling).  The all-pairs distance stage is
+the scalability wall of guide-tree MSA; this bench measures the unified
+``repro.distance`` subsystem over an estimator x backend x N grid and
+proves two things:
+
+- **equivalence** -- serial, ``threads`` and ``processes`` schedules of
+  every estimator produce *byte-identical* matrices (the subsystem's
+  determinism contract, asserted hard);
+- **speed** -- the ``processes`` schedule of the expensive ``full-dp``
+  estimator beats the legacy serial ``full_dp_distance_matrix`` path
+  wall-clock on any host with >= 2 cores (a single-core host can only
+  tie: processes pays fork/pickle overhead with no extra compute to
+  spend it on, so the gate is core-conditional like
+  bench_backend_scaling's).
+
+Output: benchmarks/reports/distance_scaling.json (machine-readable, the
+perf-tracking artifact) plus the usual text report.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _util import FULL, REPORT_DIR, fmt_table, write_report
+
+from repro.datagen.rose import generate_family
+from repro.distance import all_pairs
+from repro.msa.distances import full_dp_distance_matrix
+
+#: backend=None is the serial in-process path.
+BACKENDS = (None, "threads", "processes")
+ESTIMATORS = ("ktuple", "full-dp")
+
+
+def _workloads():
+    sizes = (64, 128) if FULL else (24, 48)
+    length = 120 if FULL else 80
+    out = {}
+    for n in sizes:
+        fam = generate_family(
+            n_sequences=n,
+            mean_length=length,
+            relatedness=500,
+            seed=17,
+            track_alignment=False,
+        )
+        out[n] = list(fam.sequences)
+    return out
+
+
+def _measure(fn, repeats):
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - t0
+        best = wall if best is None or wall < best else best
+    return best, result
+
+
+def run_distance_scaling(workers=4, repeats=2):
+    workloads = _workloads()
+    cores = os.cpu_count() or 1
+
+    grid = []  # rows: estimator x backend x N
+    identical = True
+    for estimator in ESTIMATORS:
+        for n, seqs in workloads.items():
+            matrices = {}
+            for backend in BACKENDS:
+                label = backend or "serial"
+                wall, d = _measure(
+                    lambda b=backend: all_pairs(
+                        seqs, estimator, backend=b,
+                        workers=None if b is None else workers,
+                    ),
+                    repeats,
+                )
+                matrices[label] = d
+                grid.append(
+                    {
+                        "estimator": estimator,
+                        "backend": label,
+                        "n": n,
+                        "wall_s": wall,
+                    }
+                )
+            same = all(
+                m.tobytes() == matrices["serial"].tobytes()
+                for m in matrices.values()
+            )
+            identical = identical and same
+
+    # The headline comparison: parallel all-pairs full-dp vs the legacy
+    # serial helper it replaced.
+    n_head = max(workloads)
+    seqs = workloads[n_head]
+    legacy_wall, legacy_d = _measure(
+        lambda: full_dp_distance_matrix(seqs), repeats
+    )
+    par_wall = next(
+        r["wall_s"]
+        for r in grid
+        if r["estimator"] == "full-dp"
+        and r["backend"] == "processes"
+        and r["n"] == n_head
+    )
+    par_d = all_pairs(seqs, "full-dp", backend="processes", workers=workers)
+    speedup = legacy_wall / par_wall
+    headline_identical = legacy_d.tobytes() == par_d.tobytes()
+
+    rows = [
+        [r["estimator"], r["backend"], r["n"], f"{r['wall_s']:.3f}"]
+        for r in grid
+    ]
+    table = fmt_table(["estimator", "backend", "N", "wall_s"], rows)
+    text = (
+        f"distance scaling: workers={workers} host_cores={cores}\n\n"
+        f"{table}\n\n"
+        f"byte-identical matrices across schedules: {identical}\n"
+        f"full-dp N={n_head}: serial legacy {legacy_wall:.3f}s vs "
+        f"processes all_pairs {par_wall:.3f}s -> {speedup:.2f}x "
+        f"(>1 means the parallel path wins; bounded by min(workers, "
+        f"host_cores))"
+    )
+    write_report("distance_scaling", text)
+
+    payload = {
+        "bench": "distance_scaling",
+        "workers": workers,
+        "repeats": repeats,
+        "host_cores": cores,
+        "grid": grid,
+        "identical_matrices": identical,
+        "full_dp": {
+            "n": n_head,
+            "serial_legacy_wall_s": legacy_wall,
+            "processes_wall_s": par_wall,
+            "speedup": speedup,
+            "identical": headline_identical,
+            "parallel_beats_serial": speedup > 1.0,
+        },
+    }
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "distance_scaling.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return payload
+
+
+def test_distance_scaling(benchmark):
+    from _util import once
+
+    payload = once(benchmark, run_distance_scaling)
+    # Hard contract: every schedule of every estimator agrees bytewise.
+    assert payload["identical_matrices"]
+    assert payload["full_dp"]["identical"]
+    # Perf claim is core-bound: multi-core hosts must see the parallel
+    # all-pairs path beat the legacy serial full-DP helper; a 1-core
+    # host can only tie.
+    if payload["host_cores"] >= 2:
+        assert payload["full_dp"]["parallel_beats_serial"]
+
+
+if __name__ == "__main__":
+    result = run_distance_scaling()
+    ok = result["identical_matrices"] and result["full_dp"]["identical"]
+    if result["host_cores"] >= 2:
+        ok = ok and result["full_dp"]["parallel_beats_serial"]
+        if not result["full_dp"]["parallel_beats_serial"]:
+            print(
+                f"FAIL: parallel full-dp did not beat the serial legacy "
+                f"path on a {result['host_cores']}-core host "
+                f"({result['full_dp']['speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+    sys.exit(0 if ok else 1)

@@ -13,6 +13,13 @@ the paper depends on:
 - :mod:`repro.msa` -- complete sequential MSA systems used as local aligners
   and as Table-2 comparators (MUSCLE-like, CLUSTALW-like, T-Coffee-like,
   MAFFT-like).
+- :mod:`repro.distance` -- the unified distance subsystem: pluggable
+  pairwise estimators (``ktuple``, ``kmer-fraction``, ``full-dp``,
+  ``kband``; shared ``kimura`` post-transform) behind one registry, and
+  a tiled :func:`~repro.distance.all_pairs` scheduler that runs the
+  condensed upper triangle serially, on the execution backends, or
+  cooperatively inside an SPMD program -- byte-identical output either
+  way.  Every guide-tree baseline's distance stage routes through it.
 - :mod:`repro.parcomp` -- a virtual message-passing cluster with an
   mpi4py-style API, byte metering and an alpha-beta communication cost model.
 - :mod:`repro.samplesort` -- regular sampling / PSRS machinery.
@@ -72,7 +79,14 @@ _LAZY = {
     "AlignResult": ("repro.engine.api", "AlignResult"),
     "AlignmentGateway": ("repro.serve.gateway", "AlignmentGateway"),
     "AlignmentService": ("repro.engine.service", "AlignmentService"),
+    "DistanceConfig": ("repro.distance.config", "DistanceConfig"),
+    "DistanceEstimator": ("repro.distance.estimators", "DistanceEstimator"),
     "ResultStore": ("repro.serve.store", "ResultStore"),
+    "all_pairs": ("repro.distance.allpairs", "all_pairs"),
+    "available_distance_estimators": (
+        "repro.distance.estimators",
+        "available_estimators",
+    ),
     "MsaResult": ("repro.core.driver", "MsaResult"),
     "SampleAlignDConfig": ("repro.core.config", "SampleAlignDConfig"),
     "Sequence": ("repro.seq.sequence", "Sequence"),
@@ -92,6 +106,12 @@ __all__ = sorted(_LAZY) + ["__version__"]
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.core.config import SampleAlignDConfig
     from repro.core.driver import MsaResult, sample_align_d
+    from repro.distance.allpairs import all_pairs
+    from repro.distance.config import DistanceConfig
+    from repro.distance.estimators import (
+        DistanceEstimator,
+        available_estimators as available_distance_estimators,
+    )
     from repro.engine import align
     from repro.engine.api import Aligner, AlignRequest, AlignResult
     from repro.engine.registry import (

@@ -12,7 +12,13 @@ Commands
 ``rank``      Print k-mer rank statistics of a FASTA file (centralized vs
               globalized estimators).
 ``aligners``  List the registered sequential MSA systems.
-``engines``   List the unified engine registry (name + kind).
+``engines``   List the unified engine registry (name + kind), the
+              execution backends, and the distance estimators
+              (``--json`` for the machine-readable form).
+``distances`` Inspect the distance subsystem: list the registered
+              estimators and their speed/accuracy trade-offs, or
+              compute a FASTA file's all-pairs matrix with any
+              estimator on any execution backend.
 ``quality``   Score an alignment against a reference alignment (Q/TC).
 ``model``     Calibrate the performance model and print time/speedup
               projections for a given (N, L) over a processor sweep.
@@ -98,6 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical across backends.",
     )
     p_align.add_argument(
+        "--distance",
+        default=None,
+        metavar="NAME",
+        help="distance estimator for the guide-tree stage (see `repro "
+        "distances`): 'ktuple' (fast, alignment-free), 'kmer-fraction', "
+        "'kband', or 'full-dp' (accurate, O(L^2) per pair). For "
+        "sample-align-d it configures the per-bucket local aligners.",
+    )
+    p_align.add_argument(
+        "--distance-backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the all-pairs distance stage "
+        "('threads' or 'processes'; output is byte-identical to the "
+        "serial stage). Guide-tree engines only.",
+    )
+    p_align.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -126,7 +149,66 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("aligners", help="list registered sequential aligners")
 
-    sub.add_parser("engines", help="list the unified engine registry")
+    p_eng = sub.add_parser(
+        "engines",
+        help="list the unified engine registry, execution backends and "
+        "distance estimators",
+    )
+    p_eng.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the registry (engines, backends, distance estimators "
+        "with trade-offs) as JSON (to FILE, or stdout when no FILE)",
+    )
+
+    p_dist = sub.add_parser(
+        "distances",
+        help="inspect distance estimators, or compute a FASTA file's "
+        "all-pairs distance matrix",
+    )
+    p_dist.add_argument(
+        "input",
+        nargs="?",
+        help="optional FASTA file; without it the registered estimators "
+        "and their trade-offs are listed",
+    )
+    p_dist.add_argument(
+        "--estimator", default="ktuple", metavar="NAME",
+        help="distance estimator (default ktuple; see the no-input listing)",
+    )
+    p_dist.add_argument(
+        "-k", type=int, default=None,
+        help="k-mer length for the alignment-free estimators",
+    )
+    p_dist.add_argument(
+        "--transform", default=None, choices=["linear", "kimura"],
+        help="identity post-transform (identity-based estimators)",
+    )
+    p_dist.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend for the tiled all-pairs scheduler "
+        "('threads' or 'processes'; default: serial)",
+    )
+    p_dist.add_argument(
+        "--workers", type=int, default=None,
+        help="scheduler ranks (default: host core count)",
+    )
+    p_dist.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the full matrix as TSV (ids in header and first column)",
+    )
+    p_dist.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit summary stats (and options) as JSON "
+        "(to FILE, or stdout when no FILE)",
+    )
 
     p_q = sub.add_parser("quality", help="score an alignment vs a reference")
     p_q.add_argument("test", help="gapped FASTA of the test alignment")
@@ -209,6 +291,21 @@ def build_parser() -> argparse.ArgumentParser:
         "don't choose one ('threads' or 'processes'; pick 'processes' "
         "to serve Sample-Align-D on real cores)",
     )
+    p_serve.add_argument(
+        "--distance",
+        default=None,
+        metavar="NAME",
+        help="default distance estimator folded into guide-tree engine "
+        "requests that don't choose one (pre-hash, so caching/coalescing "
+        "see it; see `repro distances`)",
+    )
+    p_serve.add_argument(
+        "--distance-backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for those requests' all-pairs "
+        "distance stage ('threads' or 'processes')",
+    )
 
     p_load = sub.add_parser(
         "loadtest", help="drive an in-process gateway with synthetic traffic"
@@ -248,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
         "('threads' or 'processes')",
     )
     p_load.add_argument(
+        "--distance",
+        default=None,
+        metavar="NAME",
+        help="default distance estimator folded into guide-tree engine "
+        "requests (pre-hash; see `repro distances`)",
+    )
+    p_load.add_argument(
+        "--distance-backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for the distance stage of those "
+        "requests ('threads' or 'processes')",
+    )
+    p_load.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -272,28 +383,92 @@ def _cmd_align(args: argparse.Namespace) -> int:
     # Bad user input (unknown names, empty input) becomes a clean error;
     # failures *inside* an engine run keep their traceback.
     try:
+        from repro.distance import get_estimator, validate_backend_name
+        from repro.engine.registry import engine_distance_options
+
+        get_engine(engine)  # fail fast on unknown engine names
+        if args.distance is not None:
+            get_estimator(args.distance)  # fail fast on unknown estimators
+        validate_backend_name(args.distance_backend, "--distance-backend")
         config = None
+        engine_kwargs = {}
         if engine.lower() == "sample-align-d":
+            if args.distance_backend is not None:
+                print(
+                    "error: --distance-backend does not apply to "
+                    "sample-align-d (its ranks may not nest a second "
+                    "execution backend); use --distance to configure the "
+                    "per-bucket local aligners, or --backend to place the "
+                    "ranks themselves",
+                    file=sys.stderr,
+                )
+                return 2
+            local_kwargs = {}
+            if args.distance is not None:
+                if "distance" not in engine_distance_options(
+                    args.local_aligner
+                ):
+                    print(
+                        f"error: local aligner {args.local_aligner!r} does "
+                        f"not take a --distance estimator (no guide-tree "
+                        f"distance stage)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                local_kwargs["distance"] = args.distance
             config = SampleAlignDConfig(
-                local_aligner=args.local_aligner, backend=args.backend
+                local_aligner=args.local_aligner,
+                backend=args.backend,
+                local_aligner_kwargs=local_kwargs,
             )
-        elif args.backend is not None:
-            print(
-                f"error: --backend currently applies only to the "
-                f"sample-align-d engine, not {engine!r} (the "
-                f"parallel-baseline SPMD program is closure-based and "
-                f"sequential engines have no ranks to place)",
-                file=sys.stderr,
-            )
-            return 2
+        else:
+            if args.backend is not None:
+                print(
+                    f"error: --backend currently applies only to the "
+                    f"sample-align-d engine, not {engine!r} (the "
+                    f"parallel-baseline SPMD program is closure-based and "
+                    f"sequential engines have no ranks to place)",
+                    file=sys.stderr,
+                )
+                return 2
+            supported = engine_distance_options(engine)
+            for opt, value in (
+                ("distance", args.distance),
+                ("distance_backend", args.distance_backend),
+            ):
+                if value is None:
+                    continue
+                if opt not in supported:
+                    if "distance" in supported:
+                        # e.g. parallel-baseline: it *has* a pluggable
+                        # distance stage, but runs it inside its own
+                        # SPMD ranks.
+                        reason = (
+                            "its distance stage runs inside its own "
+                            "SPMD ranks, which may not nest a second "
+                            "execution backend; use --distance to pick "
+                            "the estimator"
+                        )
+                    else:
+                        reason = "no pluggable guide-tree distance stage"
+                    print(
+                        f"error: engine {engine!r} does not take "
+                        f"--{opt.replace('_', '-')} ({reason})",
+                        file=sys.stderr,
+                    )
+                    return 2
+                engine_kwargs[opt] = value
         request = AlignRequest(
             sequences=tuple(seqs),
             engine=engine,
             n_procs=args.procs,
             seed=args.seed,
             config=config,
+            engine_kwargs=engine_kwargs,
         )
-        get_engine(request.engine)  # fail fast on unknown names
+        if request.engine_kwargs:
+            # Build once up front so bad distance options error cleanly.
+            get_engine(request.engine, **request.engine_kwargs)
     except (KeyError, ValueError) as exc:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"error: {msg}", file=sys.stderr)
@@ -373,12 +548,32 @@ def _cmd_aligners(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_engines(_args: argparse.Namespace) -> int:
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.distance import estimator_info
     from repro.engine import available_engines
+    from repro.engine.registry import engine_distance_options
     from repro.parcomp.backends import available_backends
 
+    if args.json is not None:
+        payload = {
+            "engines": [
+                {
+                    "name": name,
+                    "kind": kind,
+                    "distance_options": sorted(
+                        engine_distance_options(name)
+                    ),
+                }
+                for name, kind in available_engines().items()
+            ],
+            "execution_backends": available_backends(),
+            "distance_estimators": estimator_info(),
+        }
+        _emit_json(payload, args.json)
+        return 0
     for name, kind in available_engines().items():
-        print(f"{name:<20} {kind}")
+        dist = "+distance" if engine_distance_options(name) else ""
+        print(f"{name:<20} {kind:<12} {dist}")
     print(
         f"\nexecution backends for distributed engines (--backend): "
         f"{', '.join(available_backends())}"
@@ -391,6 +586,112 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
         "  processes: one OS process per rank -- wall clock scales with "
         "host cores, identical output"
     )
+    print(
+        "\ndistance estimators (--distance; engines marked +distance route "
+        "their guide-tree stage through repro.distance.all_pairs):"
+    )
+    for name, desc in estimator_info().items():
+        print(f"  {name:<14} {desc}")
+    return 0
+
+
+def _cmd_distances(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.distance import (
+        DistanceConfig,
+        all_pairs,
+        available_estimators,
+        estimator_info,
+    )
+    from repro.parcomp.backends import available_backends
+
+    if args.input is None:
+        if args.json is not None:
+            _emit_json(
+                {
+                    "distance_estimators": estimator_info(),
+                    "transforms": ["linear", "kimura"],
+                    "execution_backends": available_backends(),
+                },
+                args.json,
+            )
+            return 0
+        print("distance estimators (speed/accuracy trade-offs):")
+        for name, desc in estimator_info().items():
+            print(f"  {name:<14} {desc}")
+        print(
+            "\npost-transforms (--transform): linear (1 - id), kimura "
+            "(-ln(1 - D - D^2/5), MUSCLE stage 2)"
+        )
+        print(
+            f"execution backends (--backend): "
+            f"{', '.join(available_backends())} -- byte-identical output, "
+            "'processes' runs the pair DPs on real cores"
+        )
+        return 0
+
+    from repro.seq.fasta import read_fasta
+
+    seqs = read_fasta(args.input)
+    try:
+        config = DistanceConfig(
+            estimator=args.estimator,
+            k=args.k,
+            transform=args.transform,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        t0 = time.perf_counter()
+        d = all_pairs(
+            list(seqs),
+            config.make_estimator(),
+            backend=config.backend,
+            workers=config.workers,
+        )
+        wall = time.perf_counter() - t0
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+
+    n = d.shape[0]
+    off = d[np.triu_indices(n, k=1)]
+    stats = {
+        "input": args.input,
+        "n_sequences": n,
+        "n_pairs": int(off.size),
+        "estimator": config.estimator,
+        "transform": config.transform,
+        "backend": config.backend,
+        "workers": config.workers,
+        "wall_s": wall,
+        "min": float(off.min()),
+        "mean": float(off.mean()),
+        "max": float(off.max()),
+    }
+    if args.output:
+        ids = [s.id for s in seqs]
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write("\t".join(["id"] + ids) + "\n")
+            for i, row in enumerate(d):
+                fh.write(
+                    "\t".join([ids[i]] + [f"{v:.6f}" for v in row]) + "\n"
+                )
+    if args.json is not None:
+        _emit_json(stats, args.json)
+        return 0
+    print(
+        f"{config.estimator} distances: N={n} pairs={off.size} "
+        f"wall={wall:.3f}s "
+        f"(backend={config.backend or 'serial'})"
+    )
+    print(
+        f"off-diagonal: min={stats['min']:.4f} mean={stats['mean']:.4f} "
+        f"max={stats['max']:.4f}"
+    )
+    if args.output:
+        print(f"matrix written to {args.output}")
     return 0
 
 
@@ -573,6 +874,8 @@ def _build_gateway(args: argparse.Namespace):
         rate=getattr(args, "rate", None),
         burst=getattr(args, "burst", None),
         default_backend=getattr(args, "backend", None),
+        default_distance=getattr(args, "distance", None),
+        default_distance_backend=getattr(args, "distance_backend", None),
     )
 
 
@@ -675,6 +978,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rank": _cmd_rank,
         "aligners": _cmd_aligners,
         "engines": _cmd_engines,
+        "distances": _cmd_distances,
         "quality": _cmd_quality,
         "model": _cmd_model,
         "plan": _cmd_plan,

@@ -1,0 +1,88 @@
+"""One distance subsystem for every aligner.
+
+The all-pairs distance stage is the scalability wall of guide-tree MSA
+-- the very problem the source paper attacks -- yet it used to be
+computed serially through three overlapping code paths
+(:mod:`repro.msa.distances`, :mod:`repro.kmer.distance`,
+``pairwise_identity``).  This package unifies them:
+
+- :mod:`~repro.distance.estimators` -- the
+  :class:`DistanceEstimator` protocol and registry (``ktuple``,
+  ``kmer-fraction``, ``full-dp``, ``kband``), each a small picklable
+  dataclass computing distances for arbitrary pair-index arrays.
+- :mod:`~repro.distance.transforms` -- the shared identity
+  post-transforms (``linear``, ``kimura``) plus the alignment-derived
+  identity matrix (MUSCLE stage 2).
+- :mod:`~repro.distance.allpairs` -- :func:`all_pairs`, the tiled
+  scheduler that runs the condensed upper triangle serially, on the
+  execution backends (``backend="threads"|"processes"``, ``workers=N``),
+  or cooperatively inside an existing SPMD program (``comm=``) --
+  always producing byte-identical matrices.
+- :mod:`~repro.distance.config` -- :class:`DistanceConfig`, the
+  validated, dict-round-trippable form that travels through
+  ``engine_kwargs`` and baseline configs.
+
+Every guide-tree baseline (ClustalW-like, MUSCLE-like, MAFFT-like,
+center-star, the stage-parallel CLUSTALW) routes its distance stage
+through here via ``distance=`` / ``distance_backend=`` options, so one
+``--distance-backend processes`` flag puts the distance stage of any of
+them on real cores.
+"""
+
+from repro.distance.allpairs import (
+    DEFAULT_TILE_PAIRS,
+    all_pairs,
+    condensed_pair_indices,
+)
+from repro.distance.config import (
+    DistanceConfig,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
+    validate_backend_name,
+)
+from repro.distance.estimators import (
+    DEFAULT_ESTIMATOR,
+    DistanceEstimator,
+    FullDpDistance,
+    KbandDistance,
+    KmerFractionDistance,
+    KtupleDistance,
+    available_estimators,
+    estimator_info,
+    get_estimator,
+    register_estimator,
+    unregister_estimator,
+)
+from repro.distance.transforms import (
+    TRANSFORMS,
+    alignment_identity_matrix,
+    fractional_identity_estimate,
+    identity_to_distance,
+    kimura_distance,
+)
+
+__all__ = [
+    "DEFAULT_ESTIMATOR",
+    "DEFAULT_TILE_PAIRS",
+    "DistanceConfig",
+    "DistanceEstimator",
+    "FullDpDistance",
+    "KbandDistance",
+    "KmerFractionDistance",
+    "KtupleDistance",
+    "TRANSFORMS",
+    "alignment_identity_matrix",
+    "all_pairs",
+    "available_estimators",
+    "condensed_pair_indices",
+    "estimator_info",
+    "fractional_identity_estimate",
+    "get_estimator",
+    "identity_to_distance",
+    "kimura_distance",
+    "register_estimator",
+    "resolve_distance_stage",
+    "scoring_estimator_defaults",
+    "unregister_estimator",
+    "validate_backend_name",
+]

@@ -1,0 +1,483 @@
+"""Pluggable pairwise-distance estimators behind one registry.
+
+The all-pairs distance stage is the scalability wall of guide-tree MSA
+(it is *why* Sample-Align-D exists), and before this module every
+aligner hard-wired its own copy of the math.  Now each estimator is a
+small frozen dataclass with one job -- distances for an arbitrary array
+of sequence pairs -- which is exactly the unit the tiled
+:func:`repro.distance.all_pairs` scheduler parallelises over the
+execution backends.
+
+Registered estimators (speed/accuracy trade-offs):
+
+``ktuple``
+    Edgar's k-mer distance ``1 - r_ij`` over a compressed alphabet.
+    Alignment-free, O(L) per sequence to prepare and a handful of
+    vectorised integer ops per pair -- the fast default (MUSCLE stage 1,
+    MAFFT, CLUSTALW "quick" mode).
+``kmer-fraction``
+    The calibrated fractional-identity estimate from the k-mer match
+    fraction (``id ~= 0.02 + 0.95 F``), optionally Kimura-corrected.
+    Same cost as ``ktuple``; distances live on an identity scale, so
+    they compose with the ``kimura`` post-transform.
+``full-dp``
+    ``1 - fractional identity`` of the optimal global (Gotoh) alignment.
+    O(L^2) per pair -- the expensive, accurate distance stage of
+    CLUSTALW; the one worth parallelising over real cores.
+``kband``
+    Identity from the adaptive banded alignment with certified band
+    doubling: near full-DP accuracy at O(k*L) per pair for similar
+    sequences (MUSCLE's pairwise trick).
+
+Every identity-based estimator (``full-dp``, ``kband``,
+``kmer-fraction``) accepts ``transform="linear"|"kimura"`` -- the shared
+post-transform of :mod:`repro.distance.transforms`.  Plug-ins enter via
+:func:`register_estimator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence as TSequence, Union
+
+import numpy as np
+
+from repro.distance.transforms import TRANSFORMS, identity_to_distance
+from repro.kmer.counting import KmerCounter
+from repro.seq.alphabet import Alphabet, DAYHOFF6
+from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
+from repro.seq.sequence import Sequence
+
+__all__ = [
+    "DistanceEstimator",
+    "FullDpDistance",
+    "KbandDistance",
+    "KmerFractionDistance",
+    "KtupleDistance",
+    "available_estimators",
+    "estimator_info",
+    "get_estimator",
+    "register_estimator",
+    "unregister_estimator",
+    "DEFAULT_ESTIMATOR",
+]
+
+#: The estimator used when a caller does not choose one.
+DEFAULT_ESTIMATOR = "ktuple"
+
+
+class DistanceEstimator(ABC):
+    """Distances for arbitrary pair-index arrays of a sequence list.
+
+    The contract that makes the tiled scheduler deterministic: the value
+    of pair ``(i, j)`` depends only on ``seqs[i]`` and ``seqs[j]`` (plus
+    the estimator's own configuration), never on which other pairs share
+    the call -- so any tiling of the upper triangle, on any execution
+    backend, merges into the byte-identical matrix.
+
+    Instances are small frozen dataclasses: hashable, picklable (they
+    cross the process-backend boundary), and stateless -- per-run
+    precomputation lives in the ``state`` object returned by
+    :meth:`prepare`.
+    """
+
+    #: Registry name of the estimator.
+    name: str = "abstract"
+
+    def prepare(self, seqs: TSequence[Sequence]) -> Any:
+        """Per-run shared precomputation (e.g. k-mer count matrices).
+
+        Called once per rank, not once per tile; the returned state is
+        passed back to every :meth:`pair_distances` call.
+        """
+        return None
+
+    @abstractmethod
+    def pair_distances(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        """``float64`` distances of pairs ``(ii[t], jj[t])``."""
+
+    def matrix(self, seqs: TSequence[Sequence]) -> np.ndarray:
+        """Full symmetric distance matrix (serial convenience)."""
+        from repro.distance.allpairs import all_pairs
+
+        return all_pairs(seqs, self)
+
+
+def _check_transform(transform: str) -> None:
+    if transform not in TRANSFORMS:
+        raise ValueError(
+            f"unknown identity transform {transform!r}; "
+            f"one of {list(TRANSFORMS)}"
+        )
+
+
+@dataclass(frozen=True)
+class KtupleDistance(DistanceEstimator):
+    """Edgar's alignment-free k-mer distance ``1 - r_ij``.
+
+    ``r_ij`` is the fraction of the shorter sequence's k-mers shared with
+    the longer one, counting multiplicity (paper section 2); pairs where
+    either sequence is shorter than ``k`` get distance 1.
+    """
+
+    k: int = 4
+    alphabet: Alphabet = field(default=DAYHOFF6, repr=False)
+
+    name = "ktuple"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    def counter(self) -> KmerCounter:
+        return KmerCounter(k=self.k, alphabet=self.alphabet)
+
+    def prepare(self, seqs: TSequence[Sequence]) -> Any:
+        counter = self.counter()
+        n_kmers = np.array(
+            [counter.n_kmers(s) for s in seqs], dtype=np.float64
+        )
+        if counter.dense_ok:
+            return ("dense", counter.count_matrix(seqs), n_kmers)
+        return (
+            "sparse",
+            [counter.decorated_kmers(s) for s in seqs],
+            n_kmers,
+        )
+
+    def _shared_counts(
+        self, state: Any, ii: np.ndarray, jj: np.ndarray
+    ) -> np.ndarray:
+        kind, data, _ = state
+        shared = np.empty(len(ii), dtype=np.int64)
+        if kind == "dense":
+            # The min-sum over a (unique-rows x unique-cols) rectangle
+            # runs through the BLAS layer decomposition of
+            # _min_sum_dense -- for the contiguous condensed-triangle
+            # tiles the scheduler produces, the rectangle is barely
+            # larger than the pair list, and both paths yield the same
+            # exact integer counts (so schedules stay byte-identical).
+            from repro.kmer.distance import _min_sum_dense
+
+            ui, inv_i = np.unique(ii, return_inverse=True)
+            uj, inv_j = np.unique(jj, return_inverse=True)
+            if ui.size * uj.size <= max(4 * len(ii), 1 << 12):
+                rect = _min_sum_dense(data[ui], data[uj])
+                shared[:] = rect[inv_i, inv_j]
+                return shared
+            # Degenerate scattered pair lists: blocked per-pair gather
+            # bounds the (pairs, A**k) scratch instead.
+            block = max(1, (1 << 22) // max(data.shape[1], 1))
+            for t0 in range(0, len(ii), block):
+                a = data[ii[t0 : t0 + block]]
+                b = data[jj[t0 : t0 + block]]
+                shared[t0 : t0 + block] = np.minimum(a, b).sum(
+                    axis=1, dtype=np.int64
+                )
+        else:
+            for t in range(len(ii)):
+                shared[t] = np.intersect1d(
+                    data[int(ii[t])], data[int(jj[t])], assume_unique=True
+                ).size
+        return shared
+
+    def match_fractions(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        """The paper's ``r_ij`` for pairs ``(ii[t], jj[t])`` in [0, 1]."""
+        state = self.prepare(seqs) if state is None else state
+        n_kmers = state[2]
+        shared = self._shared_counts(state, ii, jj)
+        denom = np.minimum(n_kmers[ii], n_kmers[jj])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(denom > 0, shared / denom, 0.0)
+        return np.clip(frac, 0.0, 1.0)
+
+    def pair_distances(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        return 1.0 - self.match_fractions(seqs, ii, jj, state)
+
+
+@dataclass(frozen=True)
+class KmerFractionDistance(DistanceEstimator):
+    """Calibrated fractional identity from the k-mer match fraction.
+
+    Same alignment-free cost as :class:`KtupleDistance`, but the match
+    fraction is mapped onto an identity scale first
+    (:func:`~repro.distance.transforms.fractional_identity_estimate`),
+    so the ``kimura`` post-transform applies.
+    """
+
+    k: int = 4
+    alphabet: Alphabet = field(default=DAYHOFF6, repr=False)
+    transform: str = "linear"
+
+    name = "kmer-fraction"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        _check_transform(self.transform)
+
+    def _base(self) -> KtupleDistance:
+        return KtupleDistance(k=self.k, alphabet=self.alphabet)
+
+    def prepare(self, seqs: TSequence[Sequence]) -> Any:
+        return self._base().prepare(seqs)
+
+    def pair_identities(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        from repro.distance.transforms import fractional_identity_estimate
+
+        frac = self._base().match_fractions(seqs, ii, jj, state)
+        return fractional_identity_estimate(frac)
+
+    def pair_distances(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        return identity_to_distance(
+            self.pair_identities(seqs, ii, jj, state), self.transform
+        )
+
+
+@dataclass(frozen=True)
+class FullDpDistance(DistanceEstimator):
+    """``1 - fractional identity`` from optimal global pairwise alignments.
+
+    O(L^2) per pair -- the expensive, accurate distance stage of
+    CLUSTALW.  This is the estimator the tiled scheduler exists for:
+    its per-pair DPs parallelise embarrassingly over the ``processes``
+    backend.
+    """
+
+    matrix: SubstitutionMatrix = field(default=BLOSUM62, repr=False)
+    gaps: GapPenalties = field(default_factory=GapPenalties, repr=False)
+    transform: str = "linear"
+
+    name = "full-dp"
+
+    def __post_init__(self) -> None:
+        _check_transform(self.transform)
+
+    def pair_identities(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        from repro.align.pairwise import global_align
+
+        out = np.empty(len(ii), dtype=np.float64)
+        for t in range(len(ii)):
+            out[t] = global_align(
+                seqs[int(ii[t])], seqs[int(jj[t])], self.matrix, self.gaps
+            ).identity()
+        return out
+
+    def pair_distances(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        return identity_to_distance(
+            self.pair_identities(seqs, ii, jj, state), self.transform
+        )
+
+
+@dataclass(frozen=True)
+class KbandDistance(DistanceEstimator):
+    """Identity from the adaptive banded (k-band) global alignment.
+
+    Band doubling certifies the banded optimum equals the full-DP
+    optimum, so identities typically match ``full-dp`` at a fraction of
+    the DP area for similar sequences (MUSCLE's pairwise trick).
+    """
+
+    matrix: SubstitutionMatrix = field(default=BLOSUM62, repr=False)
+    gaps: GapPenalties = field(default_factory=GapPenalties, repr=False)
+    initial_band: int = 16
+    transform: str = "linear"
+
+    name = "kband"
+
+    def __post_init__(self) -> None:
+        if self.initial_band < 1:
+            raise ValueError("initial_band must be >= 1")
+        _check_transform(self.transform)
+
+    def pair_identities(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        from repro.align.kband import banded_align
+
+        out = np.empty(len(ii), dtype=np.float64)
+        for t in range(len(ii)):
+            out[t] = banded_align(
+                seqs[int(ii[t])],
+                seqs[int(jj[t])],
+                self.matrix,
+                self.gaps,
+                initial_k=self.initial_band,
+            ).identity()
+        return out
+
+    def pair_distances(
+        self,
+        seqs: TSequence[Sequence],
+        ii: np.ndarray,
+        jj: np.ndarray,
+        state: Any = None,
+    ) -> np.ndarray:
+        return identity_to_distance(
+            self.pair_identities(seqs, ii, jj, state), self.transform
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+
+
+@dataclass(frozen=True)
+class _EstimatorEntry:
+    name: str
+    factory: Callable[..., DistanceEstimator]
+    description: str
+
+
+_ESTIMATORS: Dict[str, _EstimatorEntry] = {}
+
+
+def register_estimator(
+    name: str,
+    factory: Callable[..., DistanceEstimator],
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register a distance-estimator factory under ``name``.
+
+    ``factory(**kwargs)`` must return a :class:`DistanceEstimator`.
+    Names are case-insensitive and shared by every layer's ``distance=``
+    option (baseline configs, ``engine_kwargs``, the gateway defaults,
+    the CLI's ``--distance``).
+    """
+    key = name.lower()
+    if key in _ESTIMATORS and not overwrite:
+        raise ValueError(
+            f"distance estimator {name!r} already registered "
+            "(pass overwrite=True to replace)"
+        )
+    _ESTIMATORS[key] = _EstimatorEntry(key, factory, description)
+
+
+def unregister_estimator(name: str) -> None:
+    """Remove an estimator from the registry."""
+    try:
+        del _ESTIMATORS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"distance estimator {name!r} is not registered"
+        ) from None
+
+
+def available_estimators() -> List[str]:
+    """Sorted names of the registered distance estimators."""
+    return sorted(_ESTIMATORS)
+
+
+def estimator_info() -> Dict[str, str]:
+    """``{name: one-line speed/accuracy description}``, name-sorted."""
+    return {
+        name: _ESTIMATORS[name].description for name in sorted(_ESTIMATORS)
+    }
+
+
+def get_estimator(
+    estimator: Union[str, DistanceEstimator, None] = None, **kwargs: Any
+) -> DistanceEstimator:
+    """Resolve an estimator selection to an instance.
+
+    ``None`` means :data:`DEFAULT_ESTIMATOR`; a string resolves through
+    the registry (``kwargs`` feed the factory); a
+    :class:`DistanceEstimator` instance passes through (``kwargs`` must
+    then be empty).
+    """
+    if isinstance(estimator, DistanceEstimator):
+        if kwargs:
+            raise ValueError(
+                "cannot combine an estimator instance with constructor "
+                f"kwargs {sorted(kwargs)}"
+            )
+        return estimator
+    if estimator is None:
+        estimator = DEFAULT_ESTIMATOR
+    try:
+        entry = _ESTIMATORS[str(estimator).lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown distance estimator {estimator!r}; "
+            f"available: {available_estimators()}"
+        ) from None
+    try:
+        return entry.factory(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad options for distance estimator {entry.name!r}: {exc}"
+        ) from None
+
+
+register_estimator(
+    "ktuple",
+    KtupleDistance,
+    "Edgar k-mer distance 1 - r_ij over a compressed alphabet; "
+    "alignment-free, fastest (MUSCLE stage 1 / MAFFT / CLUSTALW quick)",
+)
+register_estimator(
+    "kmer-fraction",
+    KmerFractionDistance,
+    "calibrated fractional-identity estimate from the k-mer match "
+    "fraction (id ~= 0.02 + 0.95 F); alignment-free, kimura-composable",
+)
+register_estimator(
+    "full-dp",
+    FullDpDistance,
+    "1 - identity of the optimal global (Gotoh) alignment; O(L^2) per "
+    "pair, most accurate (CLUSTALW accurate mode) -- parallelise it",
+)
+register_estimator(
+    "kband",
+    KbandDistance,
+    "identity from adaptive banded alignment with certified band "
+    "doubling; near full-DP accuracy at O(k*L) per pair (MUSCLE trick)",
+)

@@ -16,8 +16,8 @@ sequential section of this table, so ``repro.msa.get_aligner`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.engine.api import Aligner
 
@@ -25,6 +25,7 @@ __all__ = [
     "EngineEntry",
     "available_engines",
     "available_sequential_aligners",
+    "engine_distance_options",
     "get_engine",
     "get_sequential_aligner",
     "register_engine",
@@ -32,6 +33,12 @@ __all__ = [
     "unregister_engine",
     "unregister_sequential_aligner",
 ]
+
+#: The distance-seam kwargs a guide-tree engine can accept (see
+#: :mod:`repro.distance`); registry entries advertise the subset they
+#: support so the serving gateway and the CLI can thread defaults
+#: through ``engine_kwargs`` without guessing.
+DISTANCE_OPTION_NAMES = ("distance", "distance_backend", "distance_workers")
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,11 @@ class EngineEntry:
     #: For sequential entries, the raw SequentialMsaAligner factory that
     #: the legacy ``repro.msa.get_aligner`` path returns directly.
     seq_factory: Optional[Callable] = None
+    #: Which distance-seam kwargs (subset of DISTANCE_OPTION_NAMES) the
+    #: engine factory accepts.  Empty for engines without a pluggable
+    #: guide-tree distance stage (T-Coffee, ProbCons, Sample-Align-D --
+    #: the latter takes them via ``local_aligner_kwargs`` instead).
+    distance_options: FrozenSet[str] = frozenset()
 
 
 _ENGINES: Dict[str, EngineEntry] = {}
@@ -66,11 +78,23 @@ def _register(entry: EngineEntry, overwrite: bool) -> None:
     _ENGINES[entry.name] = entry
 
 
+def _distance_option_set(distance_options: Iterable[str]) -> FrozenSet[str]:
+    opts = frozenset(distance_options)
+    unknown = opts - set(DISTANCE_OPTION_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown distance options {sorted(unknown)}; "
+            f"subset of {list(DISTANCE_OPTION_NAMES)}"
+        )
+    return opts
+
+
 def register_engine(
     name: str,
     factory: Callable[..., Aligner],
     kind: str = "distributed",
     overwrite: bool = False,
+    distance_options: Iterable[str] = (),
 ) -> None:
     """Register an engine factory under a unified-registry name.
 
@@ -78,20 +102,36 @@ def register_engine(
     :func:`register_sequential_aligner` instead when all you have is a
     :class:`~repro.msa.base.SequentialMsaAligner` factory -- that keeps
     the name visible to the legacy ``repro.msa`` paths too.
+    ``distance_options`` advertises which of the :mod:`repro.distance`
+    seam kwargs the factory accepts (see
+    :func:`engine_distance_options`).
     """
     if kind not in ("sequential", "distributed"):
         raise ValueError("kind must be 'sequential' or 'distributed'")
-    _register(EngineEntry(name.lower(), kind, factory), overwrite)
+    _register(
+        EngineEntry(
+            name.lower(),
+            kind,
+            factory,
+            distance_options=_distance_option_set(distance_options),
+        ),
+        overwrite,
+    )
 
 
 def register_sequential_aligner(
-    name: str, seq_factory: Callable, overwrite: bool = False
+    name: str,
+    seq_factory: Callable,
+    overwrite: bool = False,
+    distance_options: Iterable[str] = (),
 ) -> None:
     """Register a sequential MSA factory in the unified name space.
 
     The name becomes usable both as an engine (``get_engine(name)``, the
     ``align`` facade, the service) and through the legacy
-    ``repro.msa.get_aligner`` path.
+    ``repro.msa.get_aligner`` path.  Pass ``distance_options`` when the
+    factory accepts the :mod:`repro.distance` seam kwargs
+    (``distance``/``distance_backend``/``distance_workers``).
     """
     key = name.lower()
 
@@ -100,7 +140,16 @@ def register_sequential_aligner(
 
         return SequentialEngine(key, seq_factory(**kwargs))
 
-    _register(EngineEntry(key, "sequential", engine_factory, seq_factory), overwrite)
+    _register(
+        EngineEntry(
+            key,
+            "sequential",
+            engine_factory,
+            seq_factory,
+            distance_options=_distance_option_set(distance_options),
+        ),
+        overwrite,
+    )
 
 
 def unregister_engine(name: str) -> None:
@@ -134,6 +183,16 @@ def available_engines() -> Dict[str, str]:
 def available_sequential_aligners() -> List[str]:
     """Sorted names of the sequential section (the legacy registry view)."""
     return sorted(n for n, e in _ENGINES.items() if e.kind == "sequential")
+
+
+def engine_distance_options(name: str) -> FrozenSet[str]:
+    """Which :mod:`repro.distance` seam kwargs the engine accepts.
+
+    Empty set for unknown names (callers treat those as "not
+    distance-capable" rather than erroring -- the registry is open).
+    """
+    entry = _ENGINES.get(name.lower())
+    return entry.distance_options if entry is not None else frozenset()
 
 
 def get_engine(name: str, **kwargs) -> Aligner:
@@ -179,31 +238,52 @@ def _seq(module: str, cls: str, **preset):
     return factory
 
 
+#: The guide-tree systems whose distance stage routes through
+#: :func:`repro.distance.all_pairs` (they accept the full seam).
+_GUIDE_TREE_OPTIONS = frozenset(DISTANCE_OPTION_NAMES)
+
 _BUILTIN_SEQUENTIAL = {
     # MUSCLE family (paper Table 2: MUSCLE and MUSCLE-p).
-    "muscle": _seq("repro.msa.muscle", "MuscleLike"),
-    "muscle-p": _seq("repro.msa.muscle", "MuscleLike", refine=False),
-    "muscle-draft": _seq(
-        "repro.msa.muscle", "MuscleLike", two_stage=False, refine=False
+    "muscle": (_seq("repro.msa.muscle", "MuscleLike"), _GUIDE_TREE_OPTIONS),
+    "muscle-p": (
+        _seq("repro.msa.muscle", "MuscleLike", refine=False),
+        _GUIDE_TREE_OPTIONS,
+    ),
+    "muscle-draft": (
+        _seq("repro.msa.muscle", "MuscleLike", two_stage=False, refine=False),
+        _GUIDE_TREE_OPTIONS,
     ),
     # CLUSTALW.
-    "clustalw": _seq("repro.msa.clustalw", "ClustalWLike"),
-    "clustalw-full": _seq(
-        "repro.msa.clustalw", "ClustalWLike", distance_mode="full"
+    "clustalw": (
+        _seq("repro.msa.clustalw", "ClustalWLike"),
+        _GUIDE_TREE_OPTIONS,
     ),
-    # T-Coffee.
-    "tcoffee": _seq("repro.msa.tcoffee", "TCoffeeLike"),
+    "clustalw-full": (
+        _seq("repro.msa.clustalw", "ClustalWLike", distance_mode="full"),
+        _GUIDE_TREE_OPTIONS,
+    ),
+    # T-Coffee (consistency library, no guide-tree distance stage).
+    "tcoffee": (_seq("repro.msa.tcoffee", "TCoffeeLike"), frozenset()),
     # ProbCons (probabilistic consistency; the paper's ref. [29]).
-    "probcons": _seq("repro.msa.probcons", "ProbConsLike"),
+    "probcons": (_seq("repro.msa.probcons", "ProbConsLike"), frozenset()),
     # MAFFT scripts cited by the paper.
-    "mafft-nwnsi": _seq("repro.msa.mafft", "MafftLike", mode="nwnsi"),
-    "mafft-fftnsi": _seq("repro.msa.mafft", "MafftLike", mode="fftnsi"),
+    "mafft-nwnsi": (
+        _seq("repro.msa.mafft", "MafftLike", mode="nwnsi"),
+        _GUIDE_TREE_OPTIONS,
+    ),
+    "mafft-fftnsi": (
+        _seq("repro.msa.mafft", "MafftLike", mode="fftnsi"),
+        _GUIDE_TREE_OPTIONS,
+    ),
     # Cheap baseline.
-    "center-star": _seq("repro.msa.centerstar", "CenterStar"),
+    "center-star": (
+        _seq("repro.msa.centerstar", "CenterStar"),
+        _GUIDE_TREE_OPTIONS,
+    ),
 }
 
-for _name, _factory in _BUILTIN_SEQUENTIAL.items():
-    register_sequential_aligner(_name, _factory)
+for _name, (_factory, _dopts) in _BUILTIN_SEQUENTIAL.items():
+    register_sequential_aligner(_name, _factory, distance_options=_dopts)
 
 
 def _sample_align_d_factory(**kwargs) -> Aligner:
@@ -219,4 +299,11 @@ def _parallel_baseline_factory(**kwargs) -> Aligner:
 
 
 register_engine("sample-align-d", _sample_align_d_factory)
-register_engine("parallel-baseline", _parallel_baseline_factory)
+# The stage-parallel baseline parallelises its distance stage inside its
+# own SPMD program, so it takes an estimator choice but no nested
+# backend/workers.
+register_engine(
+    "parallel-baseline",
+    _parallel_baseline_factory,
+    distance_options=("distance",),
+)

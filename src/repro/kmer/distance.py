@@ -129,10 +129,13 @@ def kmer_distance_matrix(
 def fractional_identity_estimate(match_fraction: np.ndarray) -> np.ndarray:
     """Estimate fractional identity from the k-mer match fraction.
 
-    Edgar (NAR 2004) showed the k-mer match fraction over compressed
-    alphabets correlates linearly with fractional identity over the useful
-    range; we use the simple calibrated affine map ``id ~= 0.02 + 0.95 * F``
-    clipped to ``[0, 1]``.  Only the monotone relationship matters for tree
-    building and rank-based bucketing.
+    .. deprecated::
+        Thin delegate; the shared post-transform now lives in
+        :func:`repro.distance.fractional_identity_estimate` (alongside
+        ``kimura_distance`` and ``identity_to_distance``).
     """
-    return np.clip(0.02 + 0.95 * np.asarray(match_fraction), 0.0, 1.0)
+    from repro.distance.transforms import (
+        fractional_identity_estimate as _impl,
+    )
+
+    return _impl(match_fraction)

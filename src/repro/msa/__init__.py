@@ -22,6 +22,15 @@ Every aligner implements :class:`SequentialMsaAligner` and can be plugged
 into Sample-Align-D as the per-processor local aligner (paper: "align
 sequences in each processor using any sequential multiple alignment
 system").
+
+All guide-tree distance stages route through the unified
+:mod:`repro.distance` subsystem: every baseline accepts ``distance=``
+(any registered estimator -- ``ktuple``, ``kmer-fraction``, ``full-dp``,
+``kband``) plus ``distance_backend=``/``distance_workers=`` to run the
+all-pairs stage on the execution backends with byte-identical output.
+The old helpers (:func:`ktuple_distance_matrix`,
+:func:`full_dp_distance_matrix`, :func:`kimura_distance`,
+:func:`alignment_identity_matrix`) remain as thin delegates.
 """
 
 from repro.msa.base import SequentialMsaAligner

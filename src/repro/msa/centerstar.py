@@ -15,8 +15,13 @@ import numpy as np
 
 from repro.align.profile import Profile
 from repro.align.profile_align import ProfileAlignConfig, align_profiles
+from repro.distance import (
+    KtupleDistance,
+    all_pairs,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
+)
 from repro.msa.base import SequentialMsaAligner
-from repro.msa.distances import ktuple_distance_matrix
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
 
@@ -33,19 +38,44 @@ class CenterStar(SequentialMsaAligner):
         Profile scoring configuration.
     kmer_k:
         k of the distance estimate used to pick the center.
+    distance:
+        Distance-stage override routed through :mod:`repro.distance`
+        (estimator name, :class:`~repro.distance.DistanceConfig`/dict,
+        or instance; default: ``ktuple`` with ``kmer_k``).
+    distance_backend / distance_workers:
+        Run the all-pairs stage on an execution backend
+        (:func:`repro.distance.all_pairs`); byte-identical output.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
     kmer_k: int = 4
+    distance: object = None
+    distance_backend: str | None = None
+    distance_workers: int | None = None
 
     name = "center-star"
+
+    def __post_init__(self) -> None:
+        self._distance_stage()  # fail fast on bad distance options
+
+    def _distance_stage(self):
+        return resolve_distance_stage(
+            self.distance,
+            self.distance_backend,
+            self.distance_workers,
+            default=lambda: KtupleDistance(k=self.kmer_k),
+            estimator_defaults=scoring_estimator_defaults(
+                self.scoring.matrix, self.scoring.gaps, self.kmer_k
+            ),
+        )
 
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        d = ktuple_distance_matrix(list(sset), k=self.kmer_k)
+        est, backend, workers = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers)
         center = int(d.sum(axis=1).argmin())
         order = np.argsort(d[center], kind="stable")
         profile = Profile.from_sequence(sset[center])

@@ -17,8 +17,14 @@ import numpy as np
 from repro.align.guide_tree import GuideTree, neighbor_joining
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
+from repro.distance import (
+    FullDpDistance,
+    KtupleDistance,
+    all_pairs,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
+)
 from repro.msa.base import SequentialMsaAligner
-from repro.msa.distances import full_dp_distance_matrix, ktuple_distance_matrix
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
 
@@ -69,9 +75,21 @@ class ClustalWLike(SequentialMsaAligner):
         (:mod:`repro.align.gapmod`).
     distance_mode:
         ``"full"`` (pairwise DP identities, O(N^2 L^2)) or ``"ktuple"``
-        (alignment-free, the fast mode for larger N).
+        (alignment-free, the fast mode for larger N).  The legacy knob;
+        ``distance=`` (below) wins when set.
     kmer_k:
         k used in ``ktuple`` mode.
+    distance:
+        Distance-stage override routed through :mod:`repro.distance`:
+        any registered estimator name (``"full-dp"``, ``"kband"``,
+        ``"ktuple"``, ``"kmer-fraction"``), a
+        :class:`~repro.distance.DistanceConfig` (or its dict form), or
+        an estimator instance.  Names pick up this aligner's scoring
+        matrix/gaps and ``kmer_k`` as defaults.
+    distance_backend / distance_workers:
+        Execute the all-pairs stage on an execution backend
+        (:func:`repro.distance.all_pairs`; ``"processes"`` uses real
+        cores).  Output is byte-identical to the serial stage.
     """
 
     scoring: ProfileAlignConfig = field(
@@ -79,24 +97,40 @@ class ClustalWLike(SequentialMsaAligner):
     )
     distance_mode: str = "ktuple"
     kmer_k: int = 4
+    distance: object = None
+    distance_backend: str | None = None
+    distance_workers: int | None = None
 
     name = "clustalw"
 
     def __post_init__(self) -> None:
         if self.distance_mode not in ("full", "ktuple"):
             raise ValueError("distance_mode must be 'full' or 'ktuple'")
+        self._distance_stage()  # fail fast on bad distance options
+
+    def _distance_stage(self):
+        dp_defaults = {"matrix": self.scoring.matrix, "gaps": self.scoring.gaps}
+        return resolve_distance_stage(
+            self.distance,
+            self.distance_backend,
+            self.distance_workers,
+            default=lambda: (
+                FullDpDistance(**dp_defaults)
+                if self.distance_mode == "full"
+                else KtupleDistance(k=self.kmer_k)
+            ),
+            estimator_defaults=scoring_estimator_defaults(
+                self.scoring.matrix, self.scoring.gaps, self.kmer_k
+            ),
+        )
 
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        if self.distance_mode == "full":
-            d = full_dp_distance_matrix(
-                list(sset), self.scoring.matrix, self.scoring.gaps
-            )
-        else:
-            d = ktuple_distance_matrix(list(sset), k=self.kmer_k)
+        est, backend, workers = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers)
         tree = neighbor_joining(d, ids)
         weights = clustal_sequence_weights(tree)
         aln = progressive_align(list(sset), tree, self.scoring, weights)

@@ -1,11 +1,16 @@
-"""Distance estimators shared by the sequential MSA systems.
+"""Distance estimators shared by the sequential MSA systems (legacy
+delegates).
 
-Three families, mirroring the real tools:
-
-- k-tuple / k-mer distances (fast, alignment-free; MUSCLE stage 1, MAFFT,
-  CLUSTALW "quick" mode) -- thin wrappers over :mod:`repro.kmer`.
-- full-DP fractional-identity distances (CLUSTALW "accurate" mode).
-- alignment-derived identity + Kimura correction (MUSCLE stage 2).
+.. deprecated::
+    The distance math now lives in :mod:`repro.distance` -- one
+    registry of pluggable estimators (``ktuple``, ``kmer-fraction``,
+    ``full-dp``, ``kband``) plus the tiled
+    :func:`repro.distance.all_pairs` scheduler that runs them serially,
+    on the execution backends, or cooperatively inside an SPMD program.
+    This module is kept as a thin facade so existing imports keep
+    working; new code should call :func:`repro.distance.all_pairs`
+    directly (it adds ``backend=``/``workers=`` parallelism and clean
+    input validation).
 """
 
 from __future__ import annotations
@@ -14,10 +19,13 @@ from typing import Sequence as TSequence
 
 import numpy as np
 
-from repro.align.pairwise import global_align
+from repro.distance.allpairs import all_pairs
+from repro.distance.estimators import FullDpDistance, KtupleDistance
+from repro.distance.transforms import (
+    alignment_identity_matrix,
+    kimura_distance,
+)
 from repro.kmer.counting import KmerCounter
-from repro.kmer.distance import kmer_distance_matrix
-from repro.seq.alignment import Alignment
 from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
 from repro.seq.sequence import Sequence
 
@@ -32,11 +40,15 @@ __all__ = [
 def ktuple_distance_matrix(
     seqs: TSequence[Sequence], k: int = 4, counter: KmerCounter | None = None
 ) -> np.ndarray:
-    """Alignment-free k-mer distance matrix (``1 -`` shared-k-mer fraction)."""
-    counter = counter or KmerCounter(k=k)
-    d = kmer_distance_matrix(list(seqs), None, counter)
-    np.fill_diagonal(d, 0.0)
-    return d
+    """Alignment-free k-mer distance matrix (``1 -`` shared-k-mer fraction).
+
+    Delegates to the ``"ktuple"`` estimator of :mod:`repro.distance`.
+    """
+    if counter is not None:
+        est = KtupleDistance(k=counter.k, alphabet=counter.alphabet)
+    else:
+        est = KtupleDistance(k=k)
+    return all_pairs(seqs, est)
 
 
 def full_dp_distance_matrix(
@@ -47,56 +59,8 @@ def full_dp_distance_matrix(
     """``1 - fractional identity`` from optimal global pairwise alignments.
 
     O(N^2) pairwise DPs -- the expensive, accurate distance stage of
-    CLUSTALW; use :func:`ktuple_distance_matrix` for large N.
+    CLUSTALW.  Delegates to the ``"full-dp"`` estimator of
+    :mod:`repro.distance`; for large N run it in parallel via
+    ``repro.distance.all_pairs(seqs, "full-dp", backend="processes")``.
     """
-    seqs = list(seqs)
-    n = len(seqs)
-    d = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            ident = global_align(seqs[i], seqs[j], matrix, gaps).identity()
-            d[i, j] = d[j, i] = 1.0 - ident
-    return d
-
-
-def alignment_identity_matrix(aln: Alignment) -> np.ndarray:
-    """Pairwise fractional identity induced by an existing MSA.
-
-    Identity of rows (i, j) = identical residue pairs / columns where both
-    rows are non-gap (0 when they never overlap).  Fully vectorised in
-    blocks: O(N^2 L) numpy work.
-    """
-    n, L = aln.matrix.shape
-    if n == 0:
-        return np.zeros((0, 0))
-    gap = aln.alphabet.gap_code
-    codes = aln.matrix
-    nongap = codes != gap
-    ident = np.eye(n)
-    block = max(1, (1 << 24) // max(L * n, 1))
-    for i0 in range(0, n, block):
-        a = codes[i0 : i0 + block]  # (b, L)
-        an = nongap[i0 : i0 + block]
-        both = an[:, None, :] & nongap[None, :, :]  # (b, n, L)
-        same = (a[:, None, :] == codes[None, :, :]) & both
-        overlap = both.sum(axis=2)
-        matches = same.sum(axis=2)
-        with np.errstate(invalid="ignore"):
-            frac = np.where(overlap > 0, matches / np.maximum(overlap, 1), 0.0)
-        ident[i0 : i0 + block] = frac
-    np.fill_diagonal(ident, 1.0)
-    return ident
-
-
-def kimura_distance(identity: np.ndarray) -> np.ndarray:
-    """Kimura's (1983) correction of fractional identity to an additive
-    evolutionary distance: ``d = -ln(1 - D - D^2/5)`` with ``D = 1 - id``.
-
-    Saturates (clamps) for very divergent pairs exactly as MUSCLE does.
-    """
-    D = 1.0 - np.asarray(identity, dtype=np.float64)
-    arg = 1.0 - D - D * D / 5.0
-    arg = np.maximum(arg, 0.05)  # clamp: d <= ~3.0 for near-random pairs
-    d = -np.log(arg)
-    np.fill_diagonal(d, 0.0) if d.ndim == 2 else None
-    return d
+    return all_pairs(seqs, FullDpDistance(matrix=matrix, gaps=gaps))

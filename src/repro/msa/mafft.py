@@ -26,9 +26,13 @@ from repro.align.profile import Profile, merge_profiles
 from repro.align.profile_align import ProfileAlignConfig, align_profiles
 from repro.align.progressive import progressive_align
 from repro.align.refine import refine_alignment
-from repro.kmer.counting import KmerCounter
+from repro.distance import (
+    KtupleDistance,
+    all_pairs,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
+)
 from repro.msa.base import SequentialMsaAligner
-from repro.msa.distances import ktuple_distance_matrix
 from repro.seq.alignment import Alignment
 from repro.seq.alphabet import PROTEIN
 from repro.seq.sequence import Sequence
@@ -220,6 +224,13 @@ class MafftLike(SequentialMsaAligner):
         Rounds of tree-dependent iterative refinement (the "i" in NSI).
     seed:
         Refinement visit-order seed.
+    distance:
+        Distance-stage override routed through :mod:`repro.distance`
+        (estimator name, :class:`~repro.distance.DistanceConfig`/dict,
+        or instance; default: MAFFT's 6-mer ``ktuple`` distance).
+    distance_backend / distance_workers:
+        Run the all-pairs stage on an execution backend
+        (:func:`repro.distance.all_pairs`); byte-identical output.
     """
 
     mode: str = "nwnsi"
@@ -227,18 +238,34 @@ class MafftLike(SequentialMsaAligner):
     kmer_k: int = 6
     iterations: int = 2
     seed: int | None = 0
+    distance: object = None
+    distance_backend: str | None = None
+    distance_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("nwnsi", "fftnsi"):
             raise ValueError("mode must be 'nwnsi' or 'fftnsi'")
         self.name = f"mafft-{self.mode}"
+        self._distance_stage()  # fail fast on bad distance options
+
+    def _distance_stage(self):
+        return resolve_distance_stage(
+            self.distance,
+            self.distance_backend,
+            self.distance_workers,
+            default=lambda: KtupleDistance(k=self.kmer_k),
+            estimator_defaults=scoring_estimator_defaults(
+                self.scoring.matrix, self.scoring.gaps, self.kmer_k
+            ),
+        )
 
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        d = ktuple_distance_matrix(list(sset), counter=KmerCounter(k=self.kmer_k))
+        est, backend, workers = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers)
         tree = neighbor_joining(d, ids)
         merge_fn = None
         if self.mode == "fftnsi":

@@ -24,13 +24,15 @@ from repro.align.guide_tree import upgma
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
 from repro.align.refine import refine_alignment
-from repro.kmer.counting import KmerCounter
-from repro.msa.base import SequentialMsaAligner
-from repro.msa.distances import (
+from repro.distance import (
+    KtupleDistance,
     alignment_identity_matrix,
+    all_pairs,
     kimura_distance,
-    ktuple_distance_matrix,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
 )
+from repro.msa.base import SequentialMsaAligner
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
 
@@ -60,6 +62,17 @@ class MuscleLike(SequentialMsaAligner):
         accuracy for DP area on long profiles).
     seed:
         Seed for the refinement visit order (None = deterministic order).
+    distance:
+        Stage-1 distance estimator override routed through
+        :mod:`repro.distance` (name, :class:`~repro.distance
+        .DistanceConfig`/dict, or estimator instance; default: the
+        classic ``ktuple`` draft distance with ``kmer_k``).  Stage 2
+        always re-estimates from the draft alignment
+        (:func:`repro.distance.alignment_identity_matrix` +
+        Kimura transform).
+    distance_backend / distance_workers:
+        Run the stage-1 all-pairs on an execution backend
+        (:func:`repro.distance.all_pairs`); byte-identical output.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
@@ -69,8 +82,25 @@ class MuscleLike(SequentialMsaAligner):
     refine_rounds: int = 2
     anchored: bool = False
     seed: int | None = 0
+    distance: object = None
+    distance_backend: str | None = None
+    distance_workers: int | None = None
 
     name = "muscle"
+
+    def __post_init__(self) -> None:
+        self._distance_stage()  # fail fast on bad distance options
+
+    def _distance_stage(self):
+        return resolve_distance_stage(
+            self.distance,
+            self.distance_backend,
+            self.distance_workers,
+            default=lambda: KtupleDistance(k=self.kmer_k),
+            estimator_defaults=scoring_estimator_defaults(
+                self.scoring.matrix, self.scoring.gaps, self.kmer_k
+            ),
+        )
 
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
@@ -86,9 +116,10 @@ class MuscleLike(SequentialMsaAligner):
                 pa, pb, self.scoring
             )
 
-        # Stage 1: draft tree from alignment-free k-mer distances.
-        counter = KmerCounter(k=self.kmer_k)
-        d1 = ktuple_distance_matrix(list(sset), counter=counter)
+        # Stage 1: draft tree from alignment-free k-mer distances (or any
+        # estimator from the repro.distance registry).
+        est, backend, workers = self._distance_stage()
+        d1 = all_pairs(list(sset), est, backend=backend, workers=workers)
         tree = upgma(d1, ids)
         aln = progressive_align(list(sset), tree, self.scoring,
                                 merge_fn=merge_fn)

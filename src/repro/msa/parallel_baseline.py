@@ -8,7 +8,10 @@ the achievable speedup"*.  :class:`ParallelClustalW` reproduces that
 architecture faithfully on the virtual cluster:
 
 - stage 1 -- the O(N^2) pairwise distance matrix is computed in parallel
-  (cyclically partitioned row pairs, allgathered);
+  through the unified distance subsystem
+  (:func:`repro.distance.all_pairs` in cooperative ``comm=`` mode:
+  condensed-triangle tiles split cyclically over the ranks,
+  allgathered);
 - stage 2 -- the guide tree is built redundantly on every rank (cheap);
 - stage 3 -- the progressive alignment itself runs **only on the root**,
   exactly like the surveyed systems.
@@ -17,6 +20,10 @@ Amdahl's law then caps the speedup at ``T_total / T_stage3`` no matter
 how many processors join, which is the quantitative content of the
 paper's motivation; ``benchmarks/bench_baseline_comparison.py`` measures
 it against Sample-Align-D's full domain decomposition.
+
+Because stage 1 now routes through the estimator registry, the baseline
+can parallelise *any* distance estimator -- ``distance="full-dp"`` gives
+the accurate CLUSTALW mode with its expensive DPs spread over the ranks.
 """
 
 from __future__ import annotations
@@ -24,15 +31,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence as TSequence
 
-import numpy as np
-
 from repro.align.guide_tree import neighbor_joining
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
+from repro.distance import (
+    KtupleDistance,
+    all_pairs,
+    resolve_distance_stage,
+    scoring_estimator_defaults,
+)
 from repro.msa.clustalw import clustal_sequence_weights
-from repro.msa.distances import ktuple_distance_matrix
-from repro.kmer.counting import KmerCounter
-from repro.kmer.distance import kmer_match_fraction_matrix
 from repro.parcomp.comm import VirtualComm
 from repro.parcomp.cost import CostModel
 from repro.parcomp.launcher import SpmdResult, run_spmd
@@ -55,31 +63,6 @@ class ParallelBaselineResult:
         return self.ledger.modeled_time()
 
 
-def _distance_rows_spmd(
-    comm: VirtualComm, seqs: TSequence[Sequence], k: int
-):
-    """Stage 1: each rank computes a cyclic slice of the distance rows."""
-    n = len(seqs)
-    counter = KmerCounter(k=k)
-    mine = list(range(comm.rank, n, comm.size))
-    if mine:
-        frac = kmer_match_fraction_matrix(
-            [seqs[i] for i in mine], list(seqs), counter
-        )
-        rows = 1.0 - frac
-    else:
-        rows = np.zeros((0, n))
-    gathered = comm.allgather((mine, rows))
-
-    d = np.zeros((n, n))
-    for idx, block in gathered:
-        if len(idx):
-            d[np.asarray(idx, dtype=np.int64)] = block
-    np.fill_diagonal(d, 0.0)
-    d = 0.5 * (d + d.T)  # symmetrise fp noise from split computation
-    return d
-
-
 @dataclass
 class ParallelClustalW:
     """Stage-parallel CLUSTALW (distances parallel, alignment sequential).
@@ -90,12 +73,42 @@ class ParallelClustalW:
         Profile scoring of the (sequential) progressive stage.
     kmer_k:
         k of the distance stage.
+    distance:
+        Distance estimator run (in parallel) by stage 1: a registry name
+        (``"ktuple"``, ``"full-dp"``, ...), a
+        :class:`~repro.distance.DistanceConfig`/dict, or an estimator
+        instance.  Default: the classic ``ktuple`` distance with
+        ``kmer_k``.  The stage executes cooperatively inside the SPMD
+        program (``repro.distance.all_pairs(..., comm=comm)``), so the
+        ledger meters its communication; a ``backend``/``workers``
+        choice inside ``distance`` is rejected -- the virtual cluster
+        *is* the backend here.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
     kmer_k: int = 4
+    distance: object = None
 
     name = "parallel-clustalw"
+
+    def __post_init__(self) -> None:
+        self._distance_estimator()  # fail fast on bad distance options
+
+    def _distance_estimator(self):
+        est, backend, workers = resolve_distance_stage(
+            self.distance,
+            default=lambda: KtupleDistance(k=self.kmer_k),
+            estimator_defaults=scoring_estimator_defaults(
+                self.scoring.matrix, self.scoring.gaps, self.kmer_k
+            ),
+        )
+        if backend is not None or workers is not None:
+            raise ValueError(
+                "parallel-baseline runs its distance stage inside its own "
+                "SPMD program (n_procs ranks); a nested distance "
+                "backend/workers choice is not supported"
+            )
+        return est
 
     def align(
         self,
@@ -114,11 +127,12 @@ class ParallelClustalW:
             )
         seq_list = list(sset)
         scoring = self.scoring
-        k = self.kmer_k
+        estimator = self._distance_estimator()
 
         def program(comm: VirtualComm):
-            # Stage 1 (parallel): distance matrix.
-            d = _distance_rows_spmd(comm, seq_list, k)
+            # Stage 1 (parallel): all-pairs distances through the unified
+            # subsystem -- tiles split over the ranks, allgathered.
+            d = all_pairs(seq_list, estimator, comm=comm)
             # Stage 2 (replicated, cheap): guide tree + weights.
             tree = neighbor_joining(d, [s.id for s in seq_list])
             weights = clustal_sequence_weights(tree)

@@ -42,6 +42,7 @@ def register_aligner(
     name: str,
     factory: Callable[..., SequentialMsaAligner],
     overwrite: bool = False,
+    distance_options: tuple = (),
 ) -> None:
     """Register a custom aligner factory (plug-in point for users).
 
@@ -49,12 +50,17 @@ def register_aligner(
     valid for ``repro.align(..., engine=name)`` and as a
     ``SampleAlignDConfig.local_aligner``.  Re-registration raises unless
     ``overwrite=True`` (the escape hatch for tests and plug-ins swapping
-    engines).
+    engines).  Pass ``distance_options`` when the factory accepts the
+    :mod:`repro.distance` seam kwargs (``distance`` /
+    ``distance_backend`` / ``distance_workers``).
     """
     from repro.engine.registry import register_sequential_aligner
 
     try:
-        register_sequential_aligner(name, factory, overwrite=overwrite)
+        register_sequential_aligner(
+            name, factory, overwrite=overwrite,
+            distance_options=distance_options,
+        )
     except ValueError as exc:
         if "already registered" in str(exc):
             raise ValueError(f"aligner {name!r} already registered") from None

@@ -217,6 +217,15 @@ class AlignmentGateway:
         plain Sample-Align-D request on real cores.  Applied at
         admission, *before* hashing, so coalescing and the result cache
         key see the effective request.
+    default_distance / default_distance_backend:
+        Distance-stage defaults for engines whose registry entry
+        advertises the :mod:`repro.distance` seam (the guide-tree
+        baselines and ``parallel-baseline``): requests that do not pick
+        their own ``distance`` / ``distance_backend`` engine kwarg get
+        these folded in -- how ``repro serve --distance-backend
+        processes`` puts every baseline's all-pairs stage on real
+        cores.  Also applied pre-hash, so coalescing and caching key on
+        the effective distance configuration.
     """
 
     def __init__(
@@ -231,6 +240,8 @@ class AlignmentGateway:
         max_tickets: int = 4096,
         close_service: bool = True,
         default_backend: Optional[str] = None,
+        default_distance: Optional[str] = None,
+        default_distance_backend: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -243,6 +254,21 @@ class AlignmentGateway:
                     f"registered execution backend; available: "
                     f"{available_backends()}"
                 )
+        if default_distance is not None:
+            from repro.distance import available_estimators
+
+            if str(default_distance).lower() not in available_estimators():
+                raise ValueError(
+                    f"default_distance {default_distance!r} is not a "
+                    f"registered distance estimator; available: "
+                    f"{available_estimators()}"
+                )
+        if default_distance_backend is not None:
+            from repro.distance import validate_backend_name
+
+            validate_backend_name(
+                default_distance_backend, "default_distance_backend"
+            )
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if rate is not None and rate <= 0:
@@ -264,7 +290,20 @@ class AlignmentGateway:
         self._max_tickets = max_tickets
         self._rate = rate
         self._burst = resolved_burst
-        self._default_backend = default_backend
+        # Store the lowered registry names: the folded engine_kwargs feed
+        # content hashes, so 'KTuple' and 'ktuple' must not split
+        # cache/coalescing keys.
+        self._default_backend = (
+            None if default_backend is None else default_backend.lower()
+        )
+        self._default_distance = (
+            None if default_distance is None else default_distance.lower()
+        )
+        self._default_distance_backend = (
+            None
+            if default_distance_backend is None
+            else default_distance_backend.lower()
+        )
         # LRU-bounded: client_id comes off the wire, so an unbounded
         # table is a memory leak under adversarial ids.  (Per-client
         # limiting with open identities can always be dodged by minting
@@ -393,26 +432,51 @@ class AlignmentGateway:
         return ticket
 
     def _effective_request(self, request: AlignRequest) -> AlignRequest:
-        """Fold the gateway's default backend into an unopinionated request.
+        """Fold the gateway's defaults into an unopinionated request.
 
-        Only distributed engines with no explicit choice (no config, no
-        ``backend`` engine kwarg) are rewritten; everything else passes
-        through untouched.
+        Two independent rewrites, both pre-hash so coalescing and the
+        result cache key on the *effective* request:
+
+        - execution backend: distributed engines with no explicit choice
+          (no config, no ``backend`` engine kwarg);
+        - distance stage: engines whose registry entry advertises the
+          :mod:`repro.distance` seam and that did not pick their own
+          ``distance`` / ``distance_backend``.
         """
+        updates: Dict[str, Any] = {}
         if (
-            self._default_backend is None
-            or request.engine.lower() != "sample-align-d"
-            or request.config is not None
-            or "backend" in request.engine_kwargs
+            self._default_backend is not None
+            and request.engine.lower() == "sample-align-d"
+            and request.config is None
+            and "backend" not in request.engine_kwargs
         ):
+            updates["backend"] = self._default_backend
+        if (
+            self._default_distance is not None
+            or self._default_distance_backend is not None
+        ):
+            from repro.engine.registry import engine_distance_options
+
+            supported = engine_distance_options(request.engine)
+            if (
+                self._default_distance is not None
+                and "distance" in supported
+                and "distance" not in request.engine_kwargs
+            ):
+                updates["distance"] = self._default_distance
+            if (
+                self._default_distance_backend is not None
+                and "distance_backend" in supported
+                and "distance_backend" not in request.engine_kwargs
+            ):
+                updates["distance_backend"] = self._default_distance_backend
+        if not updates:
             return request
         import dataclasses
 
         return dataclasses.replace(
             request,
-            engine_kwargs={
-                **request.engine_kwargs, "backend": self._default_backend
-            },
+            engine_kwargs={**request.engine_kwargs, **updates},
         )
 
     def run(
@@ -467,6 +531,8 @@ class AlignmentGateway:
         out["queue_depth"] = self._queue.qsize()
         out["inflight"] = inflight
         out["default_backend"] = self._default_backend
+        out["default_distance"] = self._default_distance
+        out["default_distance_backend"] = self._default_distance_backend
         out["latency"] = {
             "count": len(latencies),
             "p50_s": percentile(latencies, 0.50),

@@ -367,3 +367,153 @@ class TestBackendFlag:
         out = capsys.readouterr().out
         assert "execution backends" in out
         assert "threads" in out and "processes" in out
+
+
+class TestDistanceCli:
+    def test_distances_lists_estimators(self, capsys):
+        assert main(["distances"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ktuple", "kmer-fraction", "full-dp", "kband"):
+            assert name in out
+        assert "kimura" in out
+
+    def test_distances_json_listing(self, capsys):
+        import json
+
+        assert main(["distances", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "full-dp" in payload["distance_estimators"]
+        assert "threads" in payload["execution_backends"]
+
+    def test_distances_matrix_stats(self, fasta_file, capsys):
+        rc = main(["distances", str(fasta_file), "--estimator", "ktuple"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ktuple distances: N=4 pairs=6" in out
+
+    def test_distances_matrix_tsv_and_backend(self, fasta_file, tmp_path,
+                                              capsys):
+        tsv = tmp_path / "d.tsv"
+        rc = main(
+            [
+                "distances", str(fasta_file), "--backend", "threads",
+                "--workers", "2", "-o", str(tsv),
+            ]
+        )
+        assert rc == 0
+        lines = tsv.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        assert lines[0].split("\t")[1:] == ["a", "b", "c", "d"]
+
+    def test_distances_json_stats(self, fasta_file, tmp_path):
+        import json
+
+        dest = tmp_path / "stats.json"
+        rc = main(
+            [
+                "distances", str(fasta_file), "--estimator", "full-dp",
+                "--transform", "kimura", "--json", str(dest),
+            ]
+        )
+        assert rc == 0
+        stats = json.loads(dest.read_text())
+        assert stats["n_pairs"] == 6 and stats["estimator"] == "full-dp"
+
+    def test_distances_unknown_estimator_clean_error(self, fasta_file,
+                                                     capsys):
+        rc = main(["distances", str(fasta_file), "--estimator", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_align_distance_flags(self, fasta_file, tmp_path, capsys):
+        plain = tmp_path / "plain.fasta"
+        opted = tmp_path / "opted.fasta"
+        assert main(
+            ["align", str(fasta_file), "--engine", "center-star",
+             "-o", str(plain)]
+        ) == 0
+        assert main(
+            ["align", str(fasta_file), "--engine", "center-star",
+             "--distance", "ktuple", "--distance-backend", "threads",
+             "-o", str(opted)]
+        ) == 0
+        # Same estimator, parallel schedule: byte-identical alignment.
+        assert plain.read_text() == opted.read_text()
+
+    def test_align_distance_rejected_for_tcoffee(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "--engine", "tcoffee",
+             "--distance", "ktuple"]
+        )
+        assert rc == 2
+        assert "does not take --distance" in capsys.readouterr().err
+
+    def test_align_distance_backend_rejected_for_sample_align_d(
+        self, fasta_file, capsys
+    ):
+        rc = main(
+            ["align", str(fasta_file), "--distance-backend", "threads"]
+        )
+        assert rc == 2
+        assert "--distance-backend" in capsys.readouterr().err
+
+    def test_align_distance_reaches_local_aligner(self, fasta_file,
+                                                  tmp_path, capsys):
+        out = tmp_path / "sad.fasta"
+        rc = main(
+            ["align", str(fasta_file), "-p", "2", "--distance",
+             "kmer-fraction", "-o", str(out)]
+        )
+        assert rc == 0
+        assert out.read_text().startswith(">")
+
+    def test_align_unknown_distance_clean_error(self, fasta_file, capsys):
+        rc = main(
+            ["align", str(fasta_file), "--engine", "clustalw",
+             "--distance", "nope"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_loadtest_distance_defaults(self, capsys, tmp_path):
+        import json
+
+        dest = tmp_path / "report.json"
+        rc = main(
+            [
+                "loadtest", "--requests", "12", "--clients", "2",
+                "--pool", "3", "--mix", "repeat", "--workers", "2",
+                "--engine", "center-star", "--distance-backend", "threads",
+                "--json", str(dest),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(dest.read_text())
+        gw = report["gateway"]
+        assert gw["default_distance_backend"] == "threads"
+        assert report["requests"]["errors"] == 0
+
+    def test_serve_unknown_distance_clean_error(self, capsys):
+        rc = main(["serve", "--port", "0", "--distance", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_engines_lists_distance_estimators(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "distance estimators" in out
+        assert "ktuple" in out and "full-dp" in out
+
+    def test_engines_json(self, capsys):
+        import json
+
+        assert main(["engines", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {e["name"]: e for e in payload["engines"]}
+        assert by_name["clustalw"]["distance_options"] == [
+            "distance", "distance_backend", "distance_workers"
+        ]
+        assert by_name["parallel-baseline"]["distance_options"] == [
+            "distance"
+        ]
+        assert "kband" in payload["distance_estimators"]
