@@ -20,6 +20,14 @@ the paper depends on:
   condensed upper triangle serially, on the execution backends, or
   cooperatively inside an SPMD program -- byte-identical output either
   way.  Every guide-tree baseline's distance stage routes through it.
+- :mod:`repro.tree` -- the unified guide-tree subsystem: pluggable tree
+  builders (``upgma``, ``wpgma``, ``nj``, ``single-linkage``) behind one
+  registry, :func:`~repro.tree.merge_schedule` (the level/dependency
+  scheduler turning any guide tree into a task DAG of independent
+  profile merges), and :func:`~repro.tree.progressive_merge` (the DAG
+  executor: serial, on the execution backends, or cooperative in-SPMD
+  -- byte-identical alignments either way).  Every guide-tree
+  baseline's tree stage routes through it.
 - :mod:`repro.parcomp` -- a virtual message-passing cluster with an
   mpi4py-style API, byte metering and an alpha-beta communication cost model.
 - :mod:`repro.samplesort` -- regular sampling / PSRS machinery.
@@ -87,8 +95,15 @@ _LAZY = {
         "repro.distance.estimators",
         "available_estimators",
     ),
+    "GuideTree": ("repro.align.guide_tree", "GuideTree"),
+    "MergeSchedule": ("repro.tree.schedule", "MergeSchedule"),
     "MsaResult": ("repro.core.driver", "MsaResult"),
     "SampleAlignDConfig": ("repro.core.config", "SampleAlignDConfig"),
+    "TreeBuilder": ("repro.tree.builders", "TreeBuilder"),
+    "TreeConfig": ("repro.tree.config", "TreeConfig"),
+    "available_tree_builders": ("repro.tree.builders", "available_builders"),
+    "merge_schedule": ("repro.tree.schedule", "merge_schedule"),
+    "progressive_merge": ("repro.tree.merge", "progressive_merge"),
     "Sequence": ("repro.seq.sequence", "Sequence"),
     "SequenceSet": ("repro.seq.sequence", "SequenceSet"),
     # ``repro.align`` is the (callable) kernel subpackage: calling it is
@@ -104,8 +119,16 @@ _LAZY = {
 __all__ = sorted(_LAZY) + ["__version__"]
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.align.guide_tree import GuideTree
     from repro.core.config import SampleAlignDConfig
     from repro.core.driver import MsaResult, sample_align_d
+    from repro.tree.builders import (
+        TreeBuilder,
+        available_builders as available_tree_builders,
+    )
+    from repro.tree.config import TreeConfig
+    from repro.tree.merge import progressive_merge
+    from repro.tree.schedule import MergeSchedule, merge_schedule
     from repro.distance.allpairs import all_pairs
     from repro.distance.config import DistanceConfig
     from repro.distance.estimators import (

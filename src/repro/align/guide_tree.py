@@ -1,12 +1,16 @@
-"""Guide trees: UPGMA / WPGMA clustering and neighbour joining.
+"""Guide trees: the :class:`GuideTree` container and legacy builder facade.
 
 A :class:`GuideTree` is a rooted binary merge order over ``n`` leaves:
 leaves are nodes ``0..n-1``, the ``i``-th merge creates node ``n+i``, and
 the last merge is the root.  Progressive alignment simply replays the merge
-list; iterative refinement enumerates its bipartitions.
+list (serially or along the :func:`repro.tree.merge_schedule` DAG);
+iterative refinement enumerates its bipartitions.
 
-The clustering implementations are written from scratch (they are part of
-the substrate the paper assumes); the UPGMA variant is validated against
+The clustering implementations live in :mod:`repro.tree.builders` behind
+the pluggable :class:`~repro.tree.builders.TreeBuilder` registry
+(``upgma``, ``wpgma``, ``nj``, ``single-linkage``); :func:`upgma`,
+:func:`wpgma` and :func:`neighbor_joining` remain here as thin delegates
+so existing imports keep working.  The UPGMA variant is validated against
 ``scipy.cluster.hierarchy.linkage`` in the test suite.
 """
 
@@ -18,6 +22,22 @@ from typing import List, Sequence as TSequence, Tuple
 import numpy as np
 
 __all__ = ["GuideTree", "upgma", "wpgma", "neighbor_joining"]
+
+#: Characters that force a Newick label into quoted form (the Newick
+#: metacharacters plus whitespace and the quote itself).
+_NEWICK_UNSAFE = set("(),:;'[]\t\n\r ")
+
+
+def _newick_label(label: str) -> str:
+    """Render a leaf label, quoting when it contains metacharacters.
+
+    Quoted form wraps in single quotes with embedded quotes doubled
+    (standard Newick escaping), so ``to_newick``/``from_newick``
+    round-trip any label.
+    """
+    if label and not (_NEWICK_UNSAFE & set(label)):
+        return label
+    return "'" + label.replace("'", "''") + "'"
 
 
 @dataclass
@@ -116,7 +136,13 @@ class GuideTree:
 
     def to_newick(self, branch_lengths: bool = False) -> str:
         """Newick rendering; optionally annotate branch lengths derived
-        from node heights (leaf height = 0)."""
+        from node heights (leaf height = 0).
+
+        Labels containing Newick metacharacters (``(),:;'[]`` or
+        whitespace) are emitted single-quoted with embedded quotes
+        doubled, so any label round-trips through
+        :meth:`from_newick`.
+        """
         n = self.n_leaves
         height = np.zeros(self.n_nodes)
         for i in range(len(self.merges)):
@@ -124,7 +150,7 @@ class GuideTree:
 
         def render(node: int, parent_h: float) -> str:
             if node < n:
-                body = self.labels[node]
+                body = _newick_label(self.labels[node])
             else:
                 a, b = self.children(node)
                 h = height[node]
@@ -135,23 +161,41 @@ class GuideTree:
             return body
 
         if n == 1:
-            return self.labels[0] + ";"
+            return _newick_label(self.labels[0]) + ";"
         return render(self.root, height[self.root]) + ";"
 
     @classmethod
     def from_newick(cls, text: str) -> "GuideTree":
         """Parse a (strictly binary) Newick string into a guide tree.
 
-        Supports optional ``:branch_length`` annotations; multifurcations
-        are rejected (progressive alignment needs binary merges).  Node
-        heights are reconstructed from branch lengths when present, else
-        from topology depth.
+        Supports optional ``:branch_length`` annotations and
+        single-quoted labels (``''`` unescapes to a literal quote);
+        multifurcations are rejected (progressive alignment needs binary
+        merges).  Node heights are reconstructed from branch lengths
+        when present, else from topology depth.
         """
         text = text.strip()
         if not text.endswith(";"):
             raise ValueError("newick text must end with ';'")
         s = text[:-1]
         pos = 0
+
+        def parse_quoted() -> str:
+            nonlocal pos
+            pos += 1  # consume the opening quote
+            chars: List[str] = []
+            while pos < len(s):
+                c = s[pos]
+                if c == "'":
+                    if pos + 1 < len(s) and s[pos + 1] == "'":
+                        chars.append("'")  # doubled quote: literal
+                        pos += 2
+                        continue
+                    pos += 1  # closing quote
+                    return "".join(chars)
+                chars.append(c)
+                pos += 1
+            raise ValueError("unterminated quoted label in newick text")
 
         def parse():  # returns (subtree, branch_length)
             nonlocal pos
@@ -168,6 +212,8 @@ class GuideTree:
                     raise ValueError(f"expected ')' at position {pos}")
                 pos += 1
                 node = ("internal", left, right)
+            elif pos < len(s) and s[pos] == "'":
+                node = ("leaf", parse_quoted())
             else:
                 start = pos
                 while pos < len(s) and s[pos] not in ",():;":
@@ -229,94 +275,26 @@ class GuideTree:
         return cls(n, np.array(merges), np.array(heights), labels)
 
 
-def _check_distance_matrix(d: np.ndarray) -> np.ndarray:
-    d = np.asarray(d, dtype=np.float64)
-    if d.ndim != 2 or d.shape[0] != d.shape[1]:
-        raise ValueError("distance matrix must be square")
-    if not np.allclose(d, d.T, atol=1e-9):
-        raise ValueError("distance matrix must be symmetric")
-    if (np.diag(d) != 0).any():
-        raise ValueError("distance matrix diagonal must be zero")
-    return d
-
-
-def _agglomerate(
-    dist: np.ndarray, labels: TSequence[str] | None, weighted: bool
-) -> GuideTree:
-    """UPGMA (average linkage) or WPGMA (weighted) clustering.
-
-    O(n^2) memory, close to O(n^2) time in practice via nearest-neighbour
-    caching: each cluster remembers its current nearest partner and only
-    clusters whose partner was invalidated rescan their row.
-    """
-    d = _check_distance_matrix(dist).copy()
-    n = d.shape[0]
-    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
-    if len(labels) != n:
-        raise ValueError("labels length must match matrix size")
-    if n == 1:
-        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
-
-    INF = np.inf
-    np.fill_diagonal(d, INF)
-    active = np.ones(n, dtype=bool)
-    node_id = np.arange(n)  # tree node id of each active row
-    sizes = np.ones(n)
-    nn = d.argmin(axis=1)
-    nn_dist = d[np.arange(n), nn]
-
-    merges = np.empty((n - 1, 2), dtype=np.int64)
-    heights = np.empty(n - 1)
-    next_id = n
-    for step in range(n - 1):
-        # Caches are refreshed eagerly after every merge (cluster distances
-        # never drop below a row's cached minimum under (W)PGMA updates),
-        # so the cached global minimum is always a valid closest pair.
-        masked = np.where(active, nn_dist, INF)
-        i = int(masked.argmin())
-        j = int(nn[i])
-        h = d[i, j]
-        merges[step] = (node_id[i], node_id[j])
-        heights[step] = h / 2.0
-
-        # Merge j into i (average or weighted-average linkage update).
-        if weighted:
-            new_row = 0.5 * (d[i] + d[j])
-        else:
-            new_row = (sizes[i] * d[i] + sizes[j] * d[j]) / (sizes[i] + sizes[j])
-        new_row[i] = INF
-        d[i] = new_row
-        d[:, i] = new_row
-        d[j] = INF
-        d[:, j] = INF
-        active[j] = False
-        sizes[i] += sizes[j]
-        node_id[i] = next_id
-        next_id += 1
-
-        if step == n - 2:
-            break
-        # Refresh caches: row i always; any row whose partner was i or j.
-        stale = np.flatnonzero(active & ((nn == i) | (nn == j)))
-        for r in np.concatenate(([i], stale)):
-            if not active[r]:
-                continue
-            row = np.where(active, d[r], INF)
-            row[r] = INF
-            c = int(row.argmin())
-            nn[r], nn_dist[r] = c, row[c]
-    return GuideTree(n, merges, heights, labels)
+# ---------------------------------------------------------------------------
+# Legacy builder facade.  The clustering math lives in
+# repro.tree.builders; these delegates keep the historical call sites
+# (and their signatures) working.  Imports are deferred: repro.tree
+# imports GuideTree from this module.
 
 
 def upgma(dist: np.ndarray, labels: TSequence[str] | None = None) -> GuideTree:
     """Unweighted pair-group clustering (average linkage) -- the MUSCLE
     draft-tree method."""
-    return _agglomerate(dist, labels, weighted=False)
+    from repro.tree.builders import UpgmaBuilder
+
+    return UpgmaBuilder().build(dist, labels)
 
 
 def wpgma(dist: np.ndarray, labels: TSequence[str] | None = None) -> GuideTree:
     """Weighted pair-group clustering (McQuitty linkage)."""
-    return _agglomerate(dist, labels, weighted=True)
+    from repro.tree.builders import WpgmaBuilder
+
+    return WpgmaBuilder().build(dist, labels)
 
 
 def neighbor_joining(
@@ -328,54 +306,6 @@ def neighbor_joining(
     updates; branch lengths are folded into node heights (max child height
     plus branch), which is all downstream consumers need.
     """
-    d = _check_distance_matrix(dist).copy()
-    n = d.shape[0]
-    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
-    if len(labels) != n:
-        raise ValueError("labels length must match matrix size")
-    if n == 1:
-        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+    from repro.tree.builders import NeighborJoiningBuilder
 
-    active = list(range(n))
-    node_id = np.arange(n)
-    node_height = np.zeros(2 * n - 1)
-    merges: List[Tuple[int, int]] = []
-    heights: List[float] = []
-    next_id = n
-
-    while len(active) > 2:
-        idx = np.array(active)
-        sub = d[np.ix_(idx, idx)]
-        r = sub.sum(axis=1)
-        m = len(active)
-        q = (m - 2) * sub - r[:, None] - r[None, :]
-        np.fill_diagonal(q, np.inf)
-        a, b = np.unravel_index(int(q.argmin()), q.shape)
-        ia, ib = idx[a], idx[b]
-        dab = d[ia, ib]
-        # Branch lengths to the new internal node.
-        la = 0.5 * dab + (r[a] - r[b]) / (2 * (m - 2))
-        lb = dab - la
-        la, lb = max(la, 0.0), max(lb, 0.0)
-
-        merges.append((int(node_id[ia]), int(node_id[ib])))
-        h = max(
-            node_height[node_id[ia]] + la, node_height[node_id[ib]] + lb
-        )
-        heights.append(h)
-        node_height[next_id] = h
-
-        # Distances from the new node to the remaining ones.
-        rest = [x for x in active if x not in (ia, ib)]
-        for x in rest:
-            d[ia, x] = d[x, ia] = 0.5 * (d[ia, x] + d[ib, x] - dab)
-        node_id[ia] = next_id
-        next_id += 1
-        active.remove(ib)
-
-    ia, ib = active
-    merges.append((int(node_id[ia]), int(node_id[ib])))
-    heights.append(
-        max(node_height[node_id[ia]], node_height[node_id[ib]]) + d[ia, ib] / 2.0
-    )
-    return GuideTree(n, np.array(merges), np.array(heights), labels)
+    return NeighborJoiningBuilder().build(dist, labels)

@@ -19,6 +19,10 @@ Commands
               estimators and their speed/accuracy trade-offs, or
               compute a FASTA file's all-pairs matrix with any
               estimator on any execution backend.
+``trees``     Inspect the guide-tree subsystem: list the registered
+              builders, or build a FASTA file's guide tree with any
+              builder (Newick export, merge-schedule statistics --
+              how parallel the progressive merge DAG is).
 ``quality``   Score an alignment against a reference alignment (Q/TC).
 ``model``     Calibrate the performance model and print time/speedup
               projections for a given (N, L) over a processor sweep.
@@ -121,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
         "serial stage). Guide-tree engines only.",
     )
     p_align.add_argument(
+        "--tree",
+        default=None,
+        metavar="NAME",
+        help="guide-tree builder (see `repro trees`): 'upgma', 'wpgma', "
+        "'nj', or 'single-linkage'. For sample-align-d it configures "
+        "the per-bucket local aligners.",
+    )
+    p_align.add_argument(
+        "--tree-backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the DAG-scheduled progressive merge "
+        "('threads' or 'processes'; byte-identical to the serial "
+        "walk). Guide-tree engines only.",
+    )
+    p_align.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -207,6 +227,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="emit summary stats (and options) as JSON "
+        "(to FILE, or stdout when no FILE)",
+    )
+
+    p_tree = sub.add_parser(
+        "trees",
+        help="inspect guide-tree builders, or build a FASTA file's guide "
+        "tree (Newick export + merge-schedule stats)",
+    )
+    p_tree.add_argument(
+        "input",
+        nargs="?",
+        help="optional FASTA file (or Newick file with --from-newick); "
+        "without it the registered builders are listed",
+    )
+    p_tree.add_argument(
+        "--builder", default="upgma", metavar="NAME",
+        help="tree builder (default upgma; see the no-input listing)",
+    )
+    p_tree.add_argument(
+        "--estimator", default="ktuple", metavar="NAME",
+        help="distance estimator feeding the builder (see `repro "
+        "distances`)",
+    )
+    p_tree.add_argument(
+        "--from-newick", action="store_true",
+        help="treat the input as a Newick file instead of FASTA "
+        "(inspect an existing tree's merge schedule)",
+    )
+    p_tree.add_argument(
+        "--branch-lengths", action="store_true",
+        help="annotate exported Newick with branch lengths",
+    )
+    p_tree.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the tree as Newick to FILE",
+    )
+    p_tree.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the merge-schedule statistics (and options) as JSON "
         "(to FILE, or stdout when no FILE)",
     )
 
@@ -306,6 +369,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="default execution backend for those requests' all-pairs "
         "distance stage ('threads' or 'processes')",
     )
+    p_serve.add_argument(
+        "--tree",
+        default=None,
+        metavar="NAME",
+        help="default guide-tree builder folded into guide-tree engine "
+        "requests that don't choose one (pre-hash, so caching/coalescing "
+        "see it; see `repro trees`)",
+    )
+    p_serve.add_argument(
+        "--tree-backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for those requests' "
+        "DAG-scheduled progressive merge ('threads' or 'processes')",
+    )
 
     p_load = sub.add_parser(
         "loadtest", help="drive an in-process gateway with synthetic traffic"
@@ -359,6 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
         "requests ('threads' or 'processes')",
     )
     p_load.add_argument(
+        "--tree",
+        default=None,
+        metavar="NAME",
+        help="default guide-tree builder folded into guide-tree engine "
+        "requests (pre-hash; see `repro trees`)",
+    )
+    p_load.add_argument(
+        "--tree-backend",
+        default=None,
+        metavar="NAME",
+        help="default execution backend for the progressive merge of "
+        "those requests ('threads' or 'processes')",
+    )
+    p_load.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -384,38 +476,53 @@ def _cmd_align(args: argparse.Namespace) -> int:
     # failures *inside* an engine run keep their traceback.
     try:
         from repro.distance import get_estimator, validate_backend_name
-        from repro.engine.registry import engine_distance_options
+        from repro.engine.registry import (
+            engine_distance_options,
+            engine_tree_options,
+        )
+        from repro.tree import get_builder
 
         get_engine(engine)  # fail fast on unknown engine names
         if args.distance is not None:
             get_estimator(args.distance)  # fail fast on unknown estimators
         validate_backend_name(args.distance_backend, "--distance-backend")
+        if args.tree is not None:
+            get_builder(args.tree)  # fail fast on unknown builders
+        validate_backend_name(args.tree_backend, "--tree-backend")
         config = None
         engine_kwargs = {}
         if engine.lower() == "sample-align-d":
-            if args.distance_backend is not None:
-                print(
-                    "error: --distance-backend does not apply to "
-                    "sample-align-d (its ranks may not nest a second "
-                    "execution backend); use --distance to configure the "
-                    "per-bucket local aligners, or --backend to place the "
-                    "ranks themselves",
-                    file=sys.stderr,
-                )
-                return 2
-            local_kwargs = {}
-            if args.distance is not None:
-                if "distance" not in engine_distance_options(
-                    args.local_aligner
-                ):
+            for flag, value in (
+                ("--distance-backend", args.distance_backend),
+                ("--tree-backend", args.tree_backend),
+            ):
+                if value is not None:
                     print(
-                        f"error: local aligner {args.local_aligner!r} does "
-                        f"not take a --distance estimator (no guide-tree "
-                        f"distance stage)",
+                        f"error: {flag} does not apply to "
+                        "sample-align-d (its ranks may not nest a second "
+                        "execution backend); use --distance/--tree to "
+                        "configure the per-bucket local aligners, or "
+                        "--backend to place the ranks themselves",
                         file=sys.stderr,
                     )
                     return 2
-                local_kwargs["distance"] = args.distance
+            local_kwargs = {}
+            for opt, value, options_of, what in (
+                ("distance", args.distance, engine_distance_options,
+                 "distance estimator (no guide-tree distance stage)"),
+                ("tree", args.tree, engine_tree_options,
+                 "tree builder (no guide-tree stage)"),
+            ):
+                if value is None:
+                    continue
+                if opt not in options_of(args.local_aligner):
+                    print(
+                        f"error: local aligner {args.local_aligner!r} "
+                        f"does not take a --{opt} {what}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                local_kwargs[opt] = value
             config = SampleAlignDConfig(
                 local_aligner=args.local_aligner,
                 backend=args.backend,
@@ -431,33 +538,44 @@ def _cmd_align(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            supported = engine_distance_options(engine)
-            for opt, value in (
-                ("distance", args.distance),
-                ("distance_backend", args.distance_backend),
+            for seam, options_of, pairs in (
+                ("distance", engine_distance_options, (
+                    ("distance", args.distance),
+                    ("distance_backend", args.distance_backend),
+                )),
+                ("tree", engine_tree_options, (
+                    ("tree", args.tree),
+                    ("tree_backend", args.tree_backend),
+                )),
             ):
-                if value is None:
-                    continue
-                if opt not in supported:
-                    if "distance" in supported:
-                        # e.g. parallel-baseline: it *has* a pluggable
-                        # distance stage, but runs it inside its own
-                        # SPMD ranks.
-                        reason = (
-                            "its distance stage runs inside its own "
-                            "SPMD ranks, which may not nest a second "
-                            "execution backend; use --distance to pick "
-                            "the estimator"
+                supported = options_of(engine)
+                for opt, value in pairs:
+                    if value is None:
+                        continue
+                    if opt not in supported:
+                        if seam in supported:
+                            # e.g. parallel-baseline: it *has* a
+                            # pluggable distance/tree stage, but runs it
+                            # inside its own SPMD ranks.
+                            reason = (
+                                f"its {seam} stage runs inside its own "
+                                "SPMD ranks, which may not nest a second "
+                                f"execution backend; use --{seam} to "
+                                "pick the "
+                                + ("estimator" if seam == "distance"
+                                   else "builder")
+                            )
+                        else:
+                            reason = (
+                                f"no pluggable guide-tree {seam} stage"
+                            )
+                        print(
+                            f"error: engine {engine!r} does not take "
+                            f"--{opt.replace('_', '-')} ({reason})",
+                            file=sys.stderr,
                         )
-                    else:
-                        reason = "no pluggable guide-tree distance stage"
-                    print(
-                        f"error: engine {engine!r} does not take "
-                        f"--{opt.replace('_', '-')} ({reason})",
-                        file=sys.stderr,
-                    )
-                    return 2
-                engine_kwargs[opt] = value
+                        return 2
+                    engine_kwargs[opt] = value
         request = AlignRequest(
             sequences=tuple(seqs),
             engine=engine,
@@ -551,8 +669,12 @@ def _cmd_aligners(_args: argparse.Namespace) -> int:
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.distance import estimator_info
     from repro.engine import available_engines
-    from repro.engine.registry import engine_distance_options
+    from repro.engine.registry import (
+        engine_distance_options,
+        engine_tree_options,
+    )
     from repro.parcomp.backends import available_backends
+    from repro.tree import builder_info
 
     if args.json is not None:
         payload = {
@@ -563,17 +685,24 @@ def _cmd_engines(args: argparse.Namespace) -> int:
                     "distance_options": sorted(
                         engine_distance_options(name)
                     ),
+                    "tree_options": sorted(engine_tree_options(name)),
                 }
                 for name, kind in available_engines().items()
             ],
             "execution_backends": available_backends(),
             "distance_estimators": estimator_info(),
+            "tree_builders": builder_info(),
         }
         _emit_json(payload, args.json)
         return 0
     for name, kind in available_engines().items():
-        dist = "+distance" if engine_distance_options(name) else ""
-        print(f"{name:<20} {kind:<12} {dist}")
+        seams = "".join(
+            tag for tag, opts in (
+                ("+distance", engine_distance_options(name)),
+                ("+tree", engine_tree_options(name)),
+            ) if opts
+        )
+        print(f"{name:<20} {kind:<12} {seams}")
     print(
         f"\nexecution backends for distributed engines (--backend): "
         f"{', '.join(available_backends())}"
@@ -591,6 +720,13 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         "their guide-tree stage through repro.distance.all_pairs):"
     )
     for name, desc in estimator_info().items():
+        print(f"  {name:<14} {desc}")
+    print(
+        "\ntree builders (--tree; engines marked +tree route their tree "
+        "stage through repro.tree and can run the progressive merge DAG "
+        "on any backend via --tree-backend):"
+    )
+    for name, desc in builder_info().items():
         print(f"  {name:<14} {desc}")
     return 0
 
@@ -692,6 +828,90 @@ def _cmd_distances(args: argparse.Namespace) -> int:
     )
     if args.output:
         print(f"matrix written to {args.output}")
+    return 0
+
+
+def _cmd_trees(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.parcomp.backends import available_backends
+    from repro.tree import builder_info, get_builder, merge_schedule
+
+    if args.input is None:
+        if args.json is not None:
+            _emit_json(
+                {
+                    "tree_builders": builder_info(),
+                    "execution_backends": available_backends(),
+                },
+                args.json,
+            )
+            return 0
+        print("tree builders (topology trade-offs):")
+        for name, desc in builder_info().items():
+            print(f"  {name:<14} {desc}")
+        print(
+            "\nthe progressive merge DAG of any tree runs on any "
+            f"execution backend (--tree-backend on align/serve/loadtest): "
+            f"{', '.join(available_backends())} -- byte-identical output, "
+            "'processes' merges independent subtrees on real cores"
+        )
+        return 0
+
+    try:
+        if args.from_newick:
+            from repro.align.guide_tree import GuideTree
+
+            with open(args.input, "r", encoding="utf-8") as fh:
+                tree = GuideTree.from_newick(fh.read())
+            builder_name, estimator, wall = None, None, 0.0
+        else:
+            from repro.distance import all_pairs
+            from repro.seq.fasta import read_fasta
+
+            seqs = read_fasta(args.input)
+            builder = get_builder(args.builder)
+            builder_name, estimator = builder.name, args.estimator
+            t0 = time.perf_counter()
+            d = all_pairs(list(seqs), args.estimator)
+            tree = builder.build(d, [s.id for s in seqs])
+            wall = time.perf_counter() - t0
+        schedule = merge_schedule(tree)
+    except (KeyError, ValueError, OSError) as exc:
+        # OSError.args[0] is the bare errno; its str() is the message.
+        msg = (
+            str(exc) if isinstance(exc, OSError)
+            else exc.args[0] if exc.args else str(exc)
+        )
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+
+    stats = {
+        "input": args.input,
+        "builder": builder_name,
+        "estimator": estimator,
+        "wall_s": wall,
+        "schedule": schedule.to_dict(),
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(tree.to_newick(branch_lengths=args.branch_lengths) + "\n")
+    if args.json is not None:
+        _emit_json(stats, args.json)
+        return 0
+    sched = schedule.to_dict()
+    label = builder_name or "from-newick"
+    print(
+        f"{label} tree: leaves={sched['n_leaves']} "
+        f"merges={sched['n_merges']} wall={wall:.3f}s"
+    )
+    print(
+        f"merge schedule: levels={sched['n_levels']} (critical path) "
+        f"max_width={sched['max_width']} "
+        f"mean_parallelism={sched['mean_parallelism']:.2f}"
+    )
+    if args.output:
+        print(f"newick written to {args.output}")
     return 0
 
 
@@ -876,6 +1096,8 @@ def _build_gateway(args: argparse.Namespace):
         default_backend=getattr(args, "backend", None),
         default_distance=getattr(args, "distance", None),
         default_distance_backend=getattr(args, "distance_backend", None),
+        default_tree=getattr(args, "tree", None),
+        default_tree_backend=getattr(args, "tree_backend", None),
     )
 
 
@@ -979,6 +1201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "aligners": _cmd_aligners,
         "engines": _cmd_engines,
         "distances": _cmd_distances,
+        "trees": _cmd_trees,
         "quality": _cmd_quality,
         "model": _cmd_model,
         "plan": _cmd_plan,

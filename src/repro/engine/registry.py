@@ -26,6 +26,7 @@ __all__ = [
     "available_engines",
     "available_sequential_aligners",
     "engine_distance_options",
+    "engine_tree_options",
     "get_engine",
     "get_sequential_aligner",
     "register_engine",
@@ -39,6 +40,10 @@ __all__ = [
 #: support so the serving gateway and the CLI can thread defaults
 #: through ``engine_kwargs`` without guessing.
 DISTANCE_OPTION_NAMES = ("distance", "distance_backend", "distance_workers")
+
+#: The tree-seam kwargs a guide-tree engine can accept (see
+#: :mod:`repro.tree`); advertised the same way as the distance seam.
+TREE_OPTION_NAMES = ("tree", "tree_backend", "tree_workers")
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,9 @@ class EngineEntry:
     #: guide-tree distance stage (T-Coffee, ProbCons, Sample-Align-D --
     #: the latter takes them via ``local_aligner_kwargs`` instead).
     distance_options: FrozenSet[str] = frozenset()
+    #: Which tree-seam kwargs (subset of TREE_OPTION_NAMES) the engine
+    #: factory accepts; same conventions as ``distance_options``.
+    tree_options: FrozenSet[str] = frozenset()
 
 
 _ENGINES: Dict[str, EngineEntry] = {}
@@ -78,13 +86,15 @@ def _register(entry: EngineEntry, overwrite: bool) -> None:
     _ENGINES[entry.name] = entry
 
 
-def _distance_option_set(distance_options: Iterable[str]) -> FrozenSet[str]:
-    opts = frozenset(distance_options)
-    unknown = opts - set(DISTANCE_OPTION_NAMES)
+def _option_set(
+    options: Iterable[str], names: tuple, what: str
+) -> FrozenSet[str]:
+    opts = frozenset(options)
+    unknown = opts - set(names)
     if unknown:
         raise ValueError(
-            f"unknown distance options {sorted(unknown)}; "
-            f"subset of {list(DISTANCE_OPTION_NAMES)}"
+            f"unknown {what} options {sorted(unknown)}; "
+            f"subset of {list(names)}"
         )
     return opts
 
@@ -95,6 +105,7 @@ def register_engine(
     kind: str = "distributed",
     overwrite: bool = False,
     distance_options: Iterable[str] = (),
+    tree_options: Iterable[str] = (),
 ) -> None:
     """Register an engine factory under a unified-registry name.
 
@@ -102,9 +113,10 @@ def register_engine(
     :func:`register_sequential_aligner` instead when all you have is a
     :class:`~repro.msa.base.SequentialMsaAligner` factory -- that keeps
     the name visible to the legacy ``repro.msa`` paths too.
-    ``distance_options`` advertises which of the :mod:`repro.distance`
-    seam kwargs the factory accepts (see
-    :func:`engine_distance_options`).
+    ``distance_options`` / ``tree_options`` advertise which of the
+    :mod:`repro.distance` / :mod:`repro.tree` seam kwargs the factory
+    accepts (see :func:`engine_distance_options` /
+    :func:`engine_tree_options`).
     """
     if kind not in ("sequential", "distributed"):
         raise ValueError("kind must be 'sequential' or 'distributed'")
@@ -113,7 +125,12 @@ def register_engine(
             name.lower(),
             kind,
             factory,
-            distance_options=_distance_option_set(distance_options),
+            distance_options=_option_set(
+                distance_options, DISTANCE_OPTION_NAMES, "distance"
+            ),
+            tree_options=_option_set(
+                tree_options, TREE_OPTION_NAMES, "tree"
+            ),
         ),
         overwrite,
     )
@@ -124,14 +141,17 @@ def register_sequential_aligner(
     seq_factory: Callable,
     overwrite: bool = False,
     distance_options: Iterable[str] = (),
+    tree_options: Iterable[str] = (),
 ) -> None:
     """Register a sequential MSA factory in the unified name space.
 
     The name becomes usable both as an engine (``get_engine(name)``, the
     ``align`` facade, the service) and through the legacy
-    ``repro.msa.get_aligner`` path.  Pass ``distance_options`` when the
-    factory accepts the :mod:`repro.distance` seam kwargs
-    (``distance``/``distance_backend``/``distance_workers``).
+    ``repro.msa.get_aligner`` path.  Pass ``distance_options`` /
+    ``tree_options`` when the factory accepts the
+    :mod:`repro.distance` / :mod:`repro.tree` seam kwargs
+    (``distance``/``distance_backend``/``distance_workers`` and
+    ``tree``/``tree_backend``/``tree_workers``).
     """
     key = name.lower()
 
@@ -146,7 +166,12 @@ def register_sequential_aligner(
             "sequential",
             engine_factory,
             seq_factory,
-            distance_options=_distance_option_set(distance_options),
+            distance_options=_option_set(
+                distance_options, DISTANCE_OPTION_NAMES, "distance"
+            ),
+            tree_options=_option_set(
+                tree_options, TREE_OPTION_NAMES, "tree"
+            ),
         ),
         overwrite,
     )
@@ -195,6 +220,16 @@ def engine_distance_options(name: str) -> FrozenSet[str]:
     return entry.distance_options if entry is not None else frozenset()
 
 
+def engine_tree_options(name: str) -> FrozenSet[str]:
+    """Which :mod:`repro.tree` seam kwargs the engine accepts.
+
+    Empty set for unknown names, mirroring
+    :func:`engine_distance_options`.
+    """
+    entry = _ENGINES.get(name.lower())
+    return entry.tree_options if entry is not None else frozenset()
+
+
 def get_engine(name: str, **kwargs) -> Aligner:
     """Instantiate any registered engine by unified-registry name."""
     try:
@@ -239,51 +274,45 @@ def _seq(module: str, cls: str, **preset):
 
 
 #: The guide-tree systems whose distance stage routes through
-#: :func:`repro.distance.all_pairs` (they accept the full seam).
-_GUIDE_TREE_OPTIONS = frozenset(DISTANCE_OPTION_NAMES)
+#: :func:`repro.distance.all_pairs` and whose tree stage routes through
+#: :mod:`repro.tree` (they accept both full seams).
+_GUIDE_TREE_DISTANCE_OPTIONS = frozenset(DISTANCE_OPTION_NAMES)
+_GUIDE_TREE_TREE_OPTIONS = frozenset(TREE_OPTION_NAMES)
 
 _BUILTIN_SEQUENTIAL = {
     # MUSCLE family (paper Table 2: MUSCLE and MUSCLE-p).
-    "muscle": (_seq("repro.msa.muscle", "MuscleLike"), _GUIDE_TREE_OPTIONS),
-    "muscle-p": (
-        _seq("repro.msa.muscle", "MuscleLike", refine=False),
-        _GUIDE_TREE_OPTIONS,
-    ),
-    "muscle-draft": (
-        _seq("repro.msa.muscle", "MuscleLike", two_stage=False, refine=False),
-        _GUIDE_TREE_OPTIONS,
+    "muscle": _seq("repro.msa.muscle", "MuscleLike"),
+    "muscle-p": _seq("repro.msa.muscle", "MuscleLike", refine=False),
+    "muscle-draft": _seq(
+        "repro.msa.muscle", "MuscleLike", two_stage=False, refine=False
     ),
     # CLUSTALW.
-    "clustalw": (
-        _seq("repro.msa.clustalw", "ClustalWLike"),
-        _GUIDE_TREE_OPTIONS,
+    "clustalw": _seq("repro.msa.clustalw", "ClustalWLike"),
+    "clustalw-full": _seq(
+        "repro.msa.clustalw", "ClustalWLike", distance_mode="full"
     ),
-    "clustalw-full": (
-        _seq("repro.msa.clustalw", "ClustalWLike", distance_mode="full"),
-        _GUIDE_TREE_OPTIONS,
-    ),
-    # T-Coffee (consistency library, no guide-tree distance stage).
-    "tcoffee": (_seq("repro.msa.tcoffee", "TCoffeeLike"), frozenset()),
-    # ProbCons (probabilistic consistency; the paper's ref. [29]).
-    "probcons": (_seq("repro.msa.probcons", "ProbConsLike"), frozenset()),
     # MAFFT scripts cited by the paper.
-    "mafft-nwnsi": (
-        _seq("repro.msa.mafft", "MafftLike", mode="nwnsi"),
-        _GUIDE_TREE_OPTIONS,
-    ),
-    "mafft-fftnsi": (
-        _seq("repro.msa.mafft", "MafftLike", mode="fftnsi"),
-        _GUIDE_TREE_OPTIONS,
-    ),
+    "mafft-nwnsi": _seq("repro.msa.mafft", "MafftLike", mode="nwnsi"),
+    "mafft-fftnsi": _seq("repro.msa.mafft", "MafftLike", mode="fftnsi"),
     # Cheap baseline.
-    "center-star": (
-        _seq("repro.msa.centerstar", "CenterStar"),
-        _GUIDE_TREE_OPTIONS,
-    ),
+    "center-star": _seq("repro.msa.centerstar", "CenterStar"),
 }
 
-for _name, (_factory, _dopts) in _BUILTIN_SEQUENTIAL.items():
-    register_sequential_aligner(_name, _factory, distance_options=_dopts)
+for _name, _factory in _BUILTIN_SEQUENTIAL.items():
+    register_sequential_aligner(
+        _name,
+        _factory,
+        distance_options=_GUIDE_TREE_DISTANCE_OPTIONS,
+        tree_options=_GUIDE_TREE_TREE_OPTIONS,
+    )
+
+# Consistency-based systems: no guide-tree distance or tree stage.
+register_sequential_aligner(
+    "tcoffee", _seq("repro.msa.tcoffee", "TCoffeeLike")
+)
+register_sequential_aligner(
+    "probcons", _seq("repro.msa.probcons", "ProbConsLike")
+)
 
 
 def _sample_align_d_factory(**kwargs) -> Aligner:
@@ -299,11 +328,12 @@ def _parallel_baseline_factory(**kwargs) -> Aligner:
 
 
 register_engine("sample-align-d", _sample_align_d_factory)
-# The stage-parallel baseline parallelises its distance stage inside its
-# own SPMD program, so it takes an estimator choice but no nested
-# backend/workers.
+# The stage-parallel baseline parallelises its distance and merge
+# stages inside its own SPMD program, so it takes estimator/builder
+# choices but no nested backend/workers.
 register_engine(
     "parallel-baseline",
     _parallel_baseline_factory,
     distance_options=("distance",),
+    tree_options=("tree",),
 )

@@ -4,6 +4,14 @@ The cheapest multiple aligner in the suite: pick the sequence with the
 smallest summed distance to all others, then fold every other sequence
 into the growing profile in order of increasing distance to the center.
 Used as a fast local aligner option and as a quality floor in ablations.
+
+The fold-in order *is* a guide tree -- a caterpillar whose spine starts
+at the center -- so since the tree-subsystem refactor the merge walk is
+expressed as a :class:`~repro.align.guide_tree.GuideTree` and replayed
+by :func:`~repro.align.progressive.progressive_align` (byte-identical
+to the historical loop).  ``tree=`` swaps the caterpillar for any
+registered builder, turning the center-star distance stage into a
+cheap tree-guided progressive aligner.
 """
 
 from __future__ import annotations
@@ -13,8 +21,9 @@ from typing import Sequence as TSequence
 
 import numpy as np
 
-from repro.align.profile import Profile
-from repro.align.profile_align import ProfileAlignConfig, align_profiles
+from repro.align.guide_tree import GuideTree
+from repro.align.profile_align import ProfileAlignConfig
+from repro.align.progressive import progressive_align
 from repro.distance import (
     KtupleDistance,
     all_pairs,
@@ -24,8 +33,34 @@ from repro.distance import (
 from repro.msa.base import SequentialMsaAligner
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
+from repro.tree import resolve_tree_stage
 
-__all__ = ["CenterStar"]
+__all__ = ["CenterStar", "center_star_tree"]
+
+
+def center_star_tree(d: np.ndarray, labels: TSequence[str]) -> GuideTree:
+    """The center-star merge order as a caterpillar guide tree.
+
+    The center (smallest summed distance) is the first spine node; the
+    remaining leaves attach in order of increasing distance to the
+    center (stable on ties, matching the historical fold-in loop).
+    Replaying this tree progressively is exactly the classic
+    center-star algorithm.
+    """
+    n = d.shape[0]
+    labels = list(labels)
+    if n == 1:
+        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+    center = int(d.sum(axis=1).argmin())
+    order = [int(i) for i in np.argsort(d[center], kind="stable")
+             if int(i) != center]
+    merges = np.empty((n - 1, 2), dtype=np.int64)
+    spine = center
+    for step, leaf in enumerate(order):
+        merges[step] = (spine, leaf)
+        spine = n + step
+    heights = np.arange(1, n, dtype=np.float64)
+    return GuideTree(n, merges, heights, labels)
 
 
 @dataclass
@@ -45,6 +80,16 @@ class CenterStar(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    tree:
+        ``None`` (default) keeps the classic center-star caterpillar
+        merge order.  Any :mod:`repro.tree` builder selection (name,
+        :class:`~repro.tree.TreeConfig`/dict, or instance) replaces it
+        with a real guide tree over the same cheap distance matrix.
+    tree_backend / tree_workers:
+        Run the DAG-scheduled progressive merge on an execution backend
+        (:func:`repro.tree.progressive_merge`).  Note the caterpillar
+        default is a chain (no parallelism to exploit); real builders
+        via ``tree=`` produce wide DAGs.  Byte-identical output.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
@@ -52,11 +97,15 @@ class CenterStar(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    tree: object = None
+    tree_backend: str | None = None
+    tree_workers: int | None = None
 
     name = "center-star"
 
     def __post_init__(self) -> None:
         self._distance_stage()  # fail fast on bad distance options
+        self._tree_stage()  # fail fast on bad tree options
 
     def _distance_stage(self):
         return resolve_distance_stage(
@@ -69,6 +118,20 @@ class CenterStar(SequentialMsaAligner):
             ),
         )
 
+    def _tree_stage(self):
+        # ``tree=None`` means the caterpillar star order, not a registry
+        # default -- signalled by a None builder.
+        if self.tree is None:
+            from repro.distance import validate_backend_name
+
+            validate_backend_name(self.tree_backend, "tree backend")
+            if self.tree_workers is not None and self.tree_workers < 1:
+                raise ValueError("tree workers must be >= 1 (or None)")
+            return None, self.tree_backend, self.tree_workers
+        return resolve_tree_stage(
+            self.tree, self.tree_backend, self.tree_workers
+        )
+
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
@@ -76,13 +139,14 @@ class CenterStar(SequentialMsaAligner):
         ids = sset.ids
         est, backend, workers = self._distance_stage()
         d = all_pairs(list(sset), est, backend=backend, workers=workers)
-        center = int(d.sum(axis=1).argmin())
-        order = np.argsort(d[center], kind="stable")
-        profile = Profile.from_sequence(sset[center])
-        for idx in order:
-            if int(idx) == center:
-                continue
-            profile, _res = align_profiles(
-                profile, Profile.from_sequence(sset[int(idx)]), self.scoring
-            )
-        return profile.alignment.select_rows(ids)
+        builder, tbackend, tworkers = self._tree_stage()
+        tree = (
+            center_star_tree(d, ids)
+            if builder is None
+            else builder.build(d, ids)
+        )
+        # progressive_align already returns rows in input order.
+        return progressive_align(
+            list(sset), tree, self.scoring,
+            backend=tbackend, workers=tworkers,
+        )

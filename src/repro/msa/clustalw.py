@@ -14,7 +14,7 @@ from typing import Sequence as TSequence
 
 import numpy as np
 
-from repro.align.guide_tree import GuideTree, neighbor_joining
+from repro.align.guide_tree import GuideTree
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
 from repro.distance import (
@@ -25,6 +25,7 @@ from repro.distance import (
     scoring_estimator_defaults,
 )
 from repro.msa.base import SequentialMsaAligner
+from repro.tree import get_builder, resolve_tree_stage
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
 
@@ -90,6 +91,17 @@ class ClustalWLike(SequentialMsaAligner):
         Execute the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`; ``"processes"`` uses real
         cores).  Output is byte-identical to the serial stage.
+    tree:
+        Guide-tree builder routed through :mod:`repro.tree`: any
+        registered builder name (``"nj"``, ``"upgma"``, ``"wpgma"``,
+        ``"single-linkage"``), a :class:`~repro.tree.TreeConfig` (or its
+        dict form), or a builder instance.  Default: CLUSTALW's
+        neighbour joining.
+    tree_backend / tree_workers:
+        Execute the DAG-scheduled progressive merge on an execution
+        backend (:func:`repro.tree.progressive_merge`; ``"processes"``
+        runs independent subtree merges on real cores).  Output is
+        byte-identical to the serial walk.
     """
 
     scoring: ProfileAlignConfig = field(
@@ -100,6 +112,9 @@ class ClustalWLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    tree: object = None
+    tree_backend: str | None = None
+    tree_workers: int | None = None
 
     name = "clustalw"
 
@@ -107,6 +122,7 @@ class ClustalWLike(SequentialMsaAligner):
         if self.distance_mode not in ("full", "ktuple"):
             raise ValueError("distance_mode must be 'full' or 'ktuple'")
         self._distance_stage()  # fail fast on bad distance options
+        self._tree_stage()  # fail fast on bad tree options
 
     def _distance_stage(self):
         dp_defaults = {"matrix": self.scoring.matrix, "gaps": self.scoring.gaps}
@@ -124,6 +140,14 @@ class ClustalWLike(SequentialMsaAligner):
             ),
         )
 
+    def _tree_stage(self):
+        return resolve_tree_stage(
+            self.tree,
+            self.tree_backend,
+            self.tree_workers,
+            default=lambda: get_builder("nj"),
+        )
+
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
@@ -131,7 +155,11 @@ class ClustalWLike(SequentialMsaAligner):
         ids = sset.ids
         est, backend, workers = self._distance_stage()
         d = all_pairs(list(sset), est, backend=backend, workers=workers)
-        tree = neighbor_joining(d, ids)
+        builder, tbackend, tworkers = self._tree_stage()
+        tree = builder.build(d, ids)
         weights = clustal_sequence_weights(tree)
-        aln = progressive_align(list(sset), tree, self.scoring, weights)
+        aln = progressive_align(
+            list(sset), tree, self.scoring, weights,
+            backend=tbackend, workers=tworkers,
+        )
         return aln.select_rows(ids)

@@ -15,13 +15,13 @@ Two modes, matching the scripts the paper cites:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import List, Sequence as TSequence, Tuple
 
 import numpy as np
 
 from repro.align.dp import affine_align
-from repro.align.guide_tree import neighbor_joining
 from repro.align.profile import Profile, merge_profiles
 from repro.align.profile_align import ProfileAlignConfig, align_profiles
 from repro.align.progressive import progressive_align
@@ -36,6 +36,7 @@ from repro.msa.base import SequentialMsaAligner
 from repro.seq.alignment import Alignment
 from repro.seq.alphabet import PROTEIN
 from repro.seq.sequence import Sequence
+from repro.tree import get_builder, resolve_tree_stage
 
 __all__ = ["MafftLike", "fft_anchor_segments"]
 
@@ -231,6 +232,13 @@ class MafftLike(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    tree:
+        Guide-tree builder routed through :mod:`repro.tree` (builder
+        name, :class:`~repro.tree.TreeConfig`/dict, or instance;
+        default: MAFFT's neighbour joining).
+    tree_backend / tree_workers:
+        Run the DAG-scheduled progressive merge on an execution backend
+        (:func:`repro.tree.progressive_merge`); byte-identical output.
     """
 
     mode: str = "nwnsi"
@@ -241,12 +249,16 @@ class MafftLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    tree: object = None
+    tree_backend: str | None = None
+    tree_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("nwnsi", "fftnsi"):
             raise ValueError("mode must be 'nwnsi' or 'fftnsi'")
         self.name = f"mafft-{self.mode}"
         self._distance_stage()  # fail fast on bad distance options
+        self._tree_stage()  # fail fast on bad tree options
 
     def _distance_stage(self):
         return resolve_distance_stage(
@@ -259,6 +271,14 @@ class MafftLike(SequentialMsaAligner):
             ),
         )
 
+    def _tree_stage(self):
+        return resolve_tree_stage(
+            self.tree,
+            self.tree_backend,
+            self.tree_workers,
+            default=lambda: get_builder("nj"),
+        )
+
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
@@ -266,11 +286,18 @@ class MafftLike(SequentialMsaAligner):
         ids = sset.ids
         est, backend, workers = self._distance_stage()
         d = all_pairs(list(sset), est, backend=backend, workers=workers)
-        tree = neighbor_joining(d, ids)
+        builder, tbackend, tworkers = self._tree_stage()
+        tree = builder.build(d, ids)
         merge_fn = None
         if self.mode == "fftnsi":
-            merge_fn = lambda pa, pb: align_profiles_anchored(pa, pb, self.scoring)
-        aln = progressive_align(list(sset), tree, self.scoring, merge_fn=merge_fn)
+            # partial over the module-level function stays picklable, so
+            # tree_backend="processes" works under any start method.
+            merge_fn = functools.partial(
+                align_profiles_anchored, config=self.scoring
+            )
+        aln = progressive_align(list(sset), tree, self.scoring,
+                                merge_fn=merge_fn,
+                                backend=tbackend, workers=tworkers)
         if self.iterations > 0 and len(sset) > 2:
             rng = None if self.seed is None else np.random.default_rng(self.seed)
             aln = refine_alignment(

@@ -20,7 +20,6 @@ from typing import Sequence as TSequence
 
 import numpy as np
 
-from repro.align.guide_tree import upgma
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
 from repro.align.refine import refine_alignment
@@ -35,6 +34,7 @@ from repro.distance import (
 from repro.msa.base import SequentialMsaAligner
 from repro.seq.alignment import Alignment
 from repro.seq.sequence import Sequence
+from repro.tree import get_builder, resolve_tree_stage
 
 __all__ = ["MuscleLike"]
 
@@ -73,6 +73,15 @@ class MuscleLike(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the stage-1 all-pairs on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    tree:
+        Guide-tree builder routed through :mod:`repro.tree` (builder
+        name, :class:`~repro.tree.TreeConfig`/dict, or instance;
+        default: MUSCLE's UPGMA).  Applies to both the stage-1 draft
+        tree and the stage-2 rebuild.
+    tree_backend / tree_workers:
+        Run the DAG-scheduled progressive merges of both stages on an
+        execution backend (:func:`repro.tree.progressive_merge`);
+        byte-identical output.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
@@ -85,11 +94,15 @@ class MuscleLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    tree: object = None
+    tree_backend: str | None = None
+    tree_workers: int | None = None
 
     name = "muscle"
 
     def __post_init__(self) -> None:
         self._distance_stage()  # fail fast on bad distance options
+        self._tree_stage()  # fail fast on bad tree options
 
     def _distance_stage(self):
         return resolve_distance_stage(
@@ -102,6 +115,14 @@ class MuscleLike(SequentialMsaAligner):
             ),
         )
 
+    def _tree_stage(self):
+        return resolve_tree_stage(
+            self.tree,
+            self.tree_backend,
+            self.tree_workers,
+            default=lambda: get_builder("upgma"),
+        )
+
     def align(self, seqs: TSequence[Sequence]) -> Alignment:
         sset = self._validate_input(seqs)
         if len(sset) == 1:
@@ -110,27 +131,34 @@ class MuscleLike(SequentialMsaAligner):
 
         merge_fn = None
         if self.anchored:
+            import functools
+
             from repro.msa.mafft import align_profiles_anchored
 
-            merge_fn = lambda pa, pb: align_profiles_anchored(
-                pa, pb, self.scoring
+            # partial over the module-level function stays picklable, so
+            # tree_backend="processes" works under any start method.
+            merge_fn = functools.partial(
+                align_profiles_anchored, config=self.scoring
             )
 
         # Stage 1: draft tree from alignment-free k-mer distances (or any
-        # estimator from the repro.distance registry).
+        # estimator/builder from the repro.distance / repro.tree registries).
         est, backend, workers = self._distance_stage()
+        builder, tbackend, tworkers = self._tree_stage()
         d1 = all_pairs(list(sset), est, backend=backend, workers=workers)
-        tree = upgma(d1, ids)
+        tree = builder.build(d1, ids)
         aln = progressive_align(list(sset), tree, self.scoring,
-                                merge_fn=merge_fn)
+                                merge_fn=merge_fn,
+                                backend=tbackend, workers=tworkers)
 
         # Stage 2: re-estimate distances from the draft, realign.
         if self.two_stage and len(sset) > 2:
             ident = alignment_identity_matrix(aln)
             d2 = kimura_distance(ident)
-            tree = upgma(d2, aln.ids)
+            tree = builder.build(d2, aln.ids)
             aln = progressive_align(list(sset), tree, self.scoring,
-                                    merge_fn=merge_fn)
+                                    merge_fn=merge_fn,
+                                    backend=tbackend, workers=tworkers)
 
         # Stage 3: tree-dependent restricted partitioning.
         if self.refine and len(sset) > 2:

@@ -31,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence as TSequence
 
-from repro.align.guide_tree import neighbor_joining
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
 from repro.distance import (
@@ -41,6 +40,7 @@ from repro.distance import (
     scoring_estimator_defaults,
 )
 from repro.msa.clustalw import clustal_sequence_weights
+from repro.tree import get_builder, resolve_tree_stage
 from repro.parcomp.comm import VirtualComm
 from repro.parcomp.cost import CostModel
 from repro.parcomp.launcher import SpmdResult, run_spmd
@@ -83,16 +83,36 @@ class ParallelClustalW:
         ledger meters its communication; a ``backend``/``workers``
         choice inside ``distance`` is rejected -- the virtual cluster
         *is* the backend here.
+    tree:
+        Guide-tree builder run (redundantly, stage 2 is cheap) on every
+        rank: a registry name (``"nj"``, ``"upgma"``, ...), a
+        :class:`~repro.tree.TreeConfig`/dict, or a builder instance.
+        Default: CLUSTALW's neighbour joining.  As with ``distance``, a
+        nested ``backend``/``workers`` choice is rejected.
+    merge_mode:
+        ``"root"`` (default) reproduces the surveyed systems: stage 3
+        runs only on the root, which is exactly the Amdahl cap the
+        paper's introduction criticises.  ``"cooperative"`` instead
+        executes the progressive merge DAG cooperatively across the
+        ranks (:func:`repro.align.progressive.progressive_align` with
+        ``comm=``) -- byte-identical alignment, but the stage-3 wall is
+        lifted, quantifying how much of the cap was merge-order
+        serialism rather than algorithmic necessity.
     """
 
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
     kmer_k: int = 4
     distance: object = None
+    tree: object = None
+    merge_mode: str = "root"
 
     name = "parallel-clustalw"
 
     def __post_init__(self) -> None:
+        if self.merge_mode not in ("root", "cooperative"):
+            raise ValueError("merge_mode must be 'root' or 'cooperative'")
         self._distance_estimator()  # fail fast on bad distance options
+        self._tree_builder()  # fail fast on bad tree options
 
     def _distance_estimator(self):
         est, backend, workers = resolve_distance_stage(
@@ -109,6 +129,20 @@ class ParallelClustalW:
                 "backend/workers choice is not supported"
             )
         return est
+
+    def _tree_builder(self):
+        builder, backend, workers = resolve_tree_stage(
+            self.tree, default=lambda: get_builder("nj")
+        )
+        if backend is not None or workers is not None:
+            raise ValueError(
+                "parallel-baseline runs its merge stage inside its own "
+                "SPMD program (n_procs ranks); a nested tree "
+                "backend/workers choice is not supported -- use "
+                "merge_mode='cooperative' to parallelise the merge over "
+                "the ranks themselves"
+            )
+        return builder
 
     def align(
         self,
@@ -128,15 +162,24 @@ class ParallelClustalW:
         seq_list = list(sset)
         scoring = self.scoring
         estimator = self._distance_estimator()
+        builder = self._tree_builder()
+        cooperative = self.merge_mode == "cooperative"
 
         def program(comm: VirtualComm):
             # Stage 1 (parallel): all-pairs distances through the unified
             # subsystem -- tiles split over the ranks, allgathered.
             d = all_pairs(seq_list, estimator, comm=comm)
             # Stage 2 (replicated, cheap): guide tree + weights.
-            tree = neighbor_joining(d, [s.id for s in seq_list])
+            tree = builder.build(d, [s.id for s in seq_list])
             weights = clustal_sequence_weights(tree)
             comm.barrier()
+            if cooperative:
+                # Stage 3 (cooperative): the merge DAG splits level by
+                # level over the ranks -- the Amdahl cap lifted.
+                aln = progressive_align(
+                    seq_list, tree, scoring, weights, comm=comm
+                )
+                return aln if comm.rank == 0 else None
             # Stage 3 (sequential!): progressive alignment on the root only.
             if comm.rank == 0:
                 return progressive_align(seq_list, tree, scoring, weights)

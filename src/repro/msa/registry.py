@@ -43,6 +43,7 @@ def register_aligner(
     factory: Callable[..., SequentialMsaAligner],
     overwrite: bool = False,
     distance_options: tuple = (),
+    tree_options: tuple = (),
 ) -> None:
     """Register a custom aligner factory (plug-in point for users).
 
@@ -50,9 +51,10 @@ def register_aligner(
     valid for ``repro.align(..., engine=name)`` and as a
     ``SampleAlignDConfig.local_aligner``.  Re-registration raises unless
     ``overwrite=True`` (the escape hatch for tests and plug-ins swapping
-    engines).  Pass ``distance_options`` when the factory accepts the
-    :mod:`repro.distance` seam kwargs (``distance`` /
-    ``distance_backend`` / ``distance_workers``).
+    engines).  Pass ``distance_options`` / ``tree_options`` when the
+    factory accepts the :mod:`repro.distance` / :mod:`repro.tree` seam
+    kwargs (``distance`` / ``distance_backend`` / ``distance_workers``
+    and ``tree`` / ``tree_backend`` / ``tree_workers``).
     """
     from repro.engine.registry import register_sequential_aligner
 
@@ -60,6 +62,7 @@ def register_aligner(
         register_sequential_aligner(
             name, factory, overwrite=overwrite,
             distance_options=distance_options,
+            tree_options=tree_options,
         )
     except ValueError as exc:
         if "already registered" in str(exc):

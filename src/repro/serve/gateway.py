@@ -226,6 +226,14 @@ class AlignmentGateway:
         processes`` puts every baseline's all-pairs stage on real
         cores.  Also applied pre-hash, so coalescing and caching key on
         the effective distance configuration.
+    default_tree / default_tree_backend:
+        Tree-stage defaults, symmetric with the distance pair: engines
+        whose registry entry advertises the :mod:`repro.tree` seam get
+        an unopinionated request's ``tree`` (guide-tree builder) /
+        ``tree_backend`` (DAG-scheduled merge placement) folded in
+        pre-hash -- how ``repro serve --tree-backend processes`` puts
+        every baseline's progressive merge on real cores while keeping
+        coalescing and the result cache keyed on the effective request.
     """
 
     def __init__(
@@ -242,6 +250,8 @@ class AlignmentGateway:
         default_backend: Optional[str] = None,
         default_distance: Optional[str] = None,
         default_distance_backend: Optional[str] = None,
+        default_tree: Optional[str] = None,
+        default_tree_backend: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -268,6 +278,20 @@ class AlignmentGateway:
 
             validate_backend_name(
                 default_distance_backend, "default_distance_backend"
+            )
+        if default_tree is not None:
+            from repro.tree import available_builders
+
+            if str(default_tree).lower() not in available_builders():
+                raise ValueError(
+                    f"default_tree {default_tree!r} is not a registered "
+                    f"tree builder; available: {available_builders()}"
+                )
+        if default_tree_backend is not None:
+            from repro.distance import validate_backend_name
+
+            validate_backend_name(
+                default_tree_backend, "default_tree_backend"
             )
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -303,6 +327,14 @@ class AlignmentGateway:
             None
             if default_distance_backend is None
             else default_distance_backend.lower()
+        )
+        self._default_tree = (
+            None if default_tree is None else default_tree.lower()
+        )
+        self._default_tree_backend = (
+            None
+            if default_tree_backend is None
+            else default_tree_backend.lower()
         )
         # LRU-bounded: client_id comes off the wire, so an unbounded
         # table is a memory leak under adversarial ids.  (Per-client
@@ -434,14 +466,16 @@ class AlignmentGateway:
     def _effective_request(self, request: AlignRequest) -> AlignRequest:
         """Fold the gateway's defaults into an unopinionated request.
 
-        Two independent rewrites, both pre-hash so coalescing and the
+        Three independent rewrites, all pre-hash so coalescing and the
         result cache key on the *effective* request:
 
         - execution backend: distributed engines with no explicit choice
           (no config, no ``backend`` engine kwarg);
         - distance stage: engines whose registry entry advertises the
           :mod:`repro.distance` seam and that did not pick their own
-          ``distance`` / ``distance_backend``.
+          ``distance`` / ``distance_backend``;
+        - tree stage: likewise for the :mod:`repro.tree` seam
+          (``tree`` / ``tree_backend``).
         """
         updates: Dict[str, Any] = {}
         if (
@@ -470,6 +504,25 @@ class AlignmentGateway:
                 and "distance_backend" not in request.engine_kwargs
             ):
                 updates["distance_backend"] = self._default_distance_backend
+        if (
+            self._default_tree is not None
+            or self._default_tree_backend is not None
+        ):
+            from repro.engine.registry import engine_tree_options
+
+            supported = engine_tree_options(request.engine)
+            if (
+                self._default_tree is not None
+                and "tree" in supported
+                and "tree" not in request.engine_kwargs
+            ):
+                updates["tree"] = self._default_tree
+            if (
+                self._default_tree_backend is not None
+                and "tree_backend" in supported
+                and "tree_backend" not in request.engine_kwargs
+            ):
+                updates["tree_backend"] = self._default_tree_backend
         if not updates:
             return request
         import dataclasses
@@ -533,6 +586,8 @@ class AlignmentGateway:
         out["default_backend"] = self._default_backend
         out["default_distance"] = self._default_distance
         out["default_distance_backend"] = self._default_distance_backend
+        out["default_tree"] = self._default_tree
+        out["default_tree_backend"] = self._default_tree_backend
         out["latency"] = {
             "count": len(latencies),
             "p50_s": percentile(latencies, 0.50),

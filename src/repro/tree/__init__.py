@@ -1,0 +1,71 @@
+"""One guide-tree subsystem for every aligner.
+
+After PR 4 parallelised the all-pairs distance stage, the remaining
+serial hot path of every guide-tree baseline was tree construction plus
+the strictly post-order progressive merge walk -- even though sibling
+subtrees are independent.  This package unifies that stage the same way
+:mod:`repro.distance` unified the one before it:
+
+- :mod:`~repro.tree.builders` -- the :class:`TreeBuilder` protocol and
+  registry (``upgma``, ``wpgma``, ``nj``, ``single-linkage``), each a
+  small picklable dataclass turning a distance matrix into a
+  :class:`~repro.align.guide_tree.GuideTree`.  The agglomeration math
+  formerly hard-coded in ``repro.align.guide_tree`` lives here; that
+  module keeps ``GuideTree`` itself and thin delegate functions.
+- :mod:`~repro.tree.schedule` -- :func:`merge_schedule`, the
+  level/dependency scheduler that turns any ``GuideTree`` into a task
+  DAG of independent profile-profile merges (every internal node
+  scheduled exactly once, after both children).
+- :mod:`~repro.tree.merge` -- :func:`progressive_merge`, the DAG
+  executor that folds leaf profiles up the tree serially, on the
+  execution backends (``backend="threads"|"processes"``, ``workers=N``),
+  or cooperatively inside an existing SPMD program (``comm=``) --
+  always producing byte-identical alignments.
+- :mod:`~repro.tree.config` -- :class:`TreeConfig`, the validated,
+  dict-round-trippable form that travels through ``engine_kwargs`` and
+  baseline configs.
+
+Every guide-tree baseline (ClustalW-like, MUSCLE-like, MAFFT-like,
+center-star, the stage-parallel CLUSTALW) routes its tree stage through
+here via ``tree=`` / ``tree_backend=`` options, so one
+``--tree-backend processes`` flag puts the progressive merge of any of
+them on real cores.
+"""
+
+from repro.tree.builders import (
+    DEFAULT_BUILDER,
+    NeighborJoiningBuilder,
+    SingleLinkageBuilder,
+    TreeBuilder,
+    UpgmaBuilder,
+    WpgmaBuilder,
+    available_builders,
+    builder_info,
+    check_distance_matrix,
+    get_builder,
+    register_builder,
+    unregister_builder,
+)
+from repro.tree.config import TreeConfig, resolve_tree_stage
+from repro.tree.merge import progressive_merge
+from repro.tree.schedule import MergeSchedule, merge_schedule
+
+__all__ = [
+    "DEFAULT_BUILDER",
+    "MergeSchedule",
+    "NeighborJoiningBuilder",
+    "SingleLinkageBuilder",
+    "TreeBuilder",
+    "TreeConfig",
+    "UpgmaBuilder",
+    "WpgmaBuilder",
+    "available_builders",
+    "builder_info",
+    "check_distance_matrix",
+    "get_builder",
+    "merge_schedule",
+    "progressive_merge",
+    "register_builder",
+    "resolve_tree_stage",
+    "unregister_builder",
+]

@@ -1,0 +1,408 @@
+"""Pluggable guide-tree builders behind one registry.
+
+After the distance stage, every progressive aligner must turn an
+``(n, n)`` distance matrix into a merge order -- and before this module
+each baseline hard-imported its own clustering routine from
+``repro.align.guide_tree``.  Now each builder is a small frozen
+dataclass with one job -- a :class:`~repro.align.guide_tree.GuideTree`
+from a distance matrix -- behind the same registry idiom the distance
+estimators and execution backends use, so one ``tree=`` string selects
+the topology at every layer (baseline configs, ``engine_kwargs``, the
+gateway's ``default_tree``, the CLI's ``--tree``).
+
+Registered builders (topology trade-offs):
+
+``upgma``
+    Unweighted pair-group (average linkage) clustering -- the MUSCLE
+    draft-tree method.  Assumes a molecular clock; O(n^2).
+``wpgma``
+    Weighted pair-group (McQuitty linkage) clustering: cluster sizes do
+    not dilute the update, so sparsely sampled clades keep their pull.
+``nj``
+    Saitou-Nei neighbour joining, rooted at the final join -- the
+    CLUSTALW guide-tree method.  No clock assumption; O(n^3).
+``single-linkage``
+    Minimum linkage (nearest neighbour chaining) -- the cheapest
+    agglomeration and the most caterpillar-prone topology, useful as a
+    scheduling stress case (its merge DAG has almost no parallelism).
+
+Plug-ins enter via :func:`register_builder`.  The legacy functions
+``repro.align.guide_tree.upgma`` / ``wpgma`` / ``neighbor_joining`` are
+thin delegates over this registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence as TSequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.align.guide_tree import GuideTree
+
+__all__ = [
+    "TreeBuilder",
+    "UpgmaBuilder",
+    "WpgmaBuilder",
+    "NeighborJoiningBuilder",
+    "SingleLinkageBuilder",
+    "available_builders",
+    "builder_info",
+    "get_builder",
+    "register_builder",
+    "unregister_builder",
+    "DEFAULT_BUILDER",
+]
+
+#: The builder used when a caller does not choose one.
+DEFAULT_BUILDER = "upgma"
+
+
+class TreeBuilder(ABC):
+    """A guide tree from a distance matrix.
+
+    The contract that keeps every downstream schedule deterministic: the
+    tree depends only on the matrix and the labels (plus the builder's
+    own configuration), never on execution order.  Instances are small
+    frozen dataclasses -- hashable, picklable (they may cross the
+    process-backend boundary inside baseline configs), and stateless.
+    """
+
+    #: Registry name of the builder.
+    name: str = "abstract"
+
+    @abstractmethod
+    def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        """Guide tree over ``dist`` (validated square symmetric matrix)."""
+
+    def __call__(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        return self.build(dist, labels)
+
+
+def check_distance_matrix(d: np.ndarray) -> np.ndarray:
+    """Validate and return a float64 copy-safe view of ``d``."""
+    d = np.asarray(d, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    if (np.diag(d) != 0).any():
+        raise ValueError("distance matrix diagonal must be zero")
+    return d
+
+
+def _resolve_labels(
+    n: int, labels: Optional[TSequence[str]]
+) -> List[str]:
+    labels = list(labels) if labels is not None else [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("labels length must match matrix size")
+    return labels
+
+
+def _agglomerate(
+    dist: np.ndarray, labels: Optional[TSequence[str]], linkage: str
+) -> GuideTree:
+    """Agglomerative clustering under ``average``/``weighted``/``single``
+    linkage.
+
+    O(n^2) memory, close to O(n^2) time in practice via nearest-neighbour
+    caching: each cluster remembers its current nearest partner and only
+    clusters whose partner was invalidated rescan their row.  The cache
+    is sound for all three linkages because the distance from any row to
+    the merged cluster (size-weighted mean, plain mean, or minimum of the
+    two old entries) can never drop below that row's cached minimum.
+    """
+    d = check_distance_matrix(dist).copy()
+    n = d.shape[0]
+    labels = _resolve_labels(n, labels)
+    if n == 1:
+        return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+
+    INF = np.inf
+    np.fill_diagonal(d, INF)
+    active = np.ones(n, dtype=bool)
+    node_id = np.arange(n)  # tree node id of each active row
+    sizes = np.ones(n)
+    nn = d.argmin(axis=1)
+    nn_dist = d[np.arange(n), nn]
+
+    merges = np.empty((n - 1, 2), dtype=np.int64)
+    heights = np.empty(n - 1)
+    next_id = n
+    for step in range(n - 1):
+        # Caches are refreshed eagerly after every merge, so the cached
+        # global minimum is always a valid closest pair.
+        masked = np.where(active, nn_dist, INF)
+        i = int(masked.argmin())
+        j = int(nn[i])
+        h = d[i, j]
+        merges[step] = (node_id[i], node_id[j])
+        heights[step] = h / 2.0
+
+        # Merge j into i under the selected linkage update.
+        if linkage == "weighted":
+            new_row = 0.5 * (d[i] + d[j])
+        elif linkage == "single":
+            new_row = np.minimum(d[i], d[j])
+        else:  # average
+            new_row = (sizes[i] * d[i] + sizes[j] * d[j]) / (sizes[i] + sizes[j])
+        new_row[i] = INF
+        d[i] = new_row
+        d[:, i] = new_row
+        d[j] = INF
+        d[:, j] = INF
+        active[j] = False
+        sizes[i] += sizes[j]
+        node_id[i] = next_id
+        next_id += 1
+
+        if step == n - 2:
+            break
+        # Refresh caches: row i always; any row whose partner was i or j.
+        stale = np.flatnonzero(active & ((nn == i) | (nn == j)))
+        for r in np.concatenate(([i], stale)):
+            if not active[r]:
+                continue
+            row = np.where(active, d[r], INF)
+            row[r] = INF
+            c = int(row.argmin())
+            nn[r], nn_dist[r] = c, row[c]
+    return GuideTree(n, merges, heights, labels)
+
+
+@dataclass(frozen=True)
+class UpgmaBuilder(TreeBuilder):
+    """Unweighted pair-group clustering (average linkage) -- the MUSCLE
+    draft-tree method."""
+
+    name = "upgma"
+
+    def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        return _agglomerate(dist, labels, linkage="average")
+
+
+@dataclass(frozen=True)
+class WpgmaBuilder(TreeBuilder):
+    """Weighted pair-group clustering (McQuitty linkage)."""
+
+    name = "wpgma"
+
+    def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        return _agglomerate(dist, labels, linkage="weighted")
+
+
+@dataclass(frozen=True)
+class SingleLinkageBuilder(TreeBuilder):
+    """Minimum-linkage (nearest neighbour) clustering.
+
+    The merged cluster's distance to any other is the minimum of its two
+    children's -- chaining-prone, which makes it the adversarial input
+    for the merge scheduler (deep caterpillar DAGs with level width 1).
+    """
+
+    name = "single-linkage"
+
+    def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        return _agglomerate(dist, labels, linkage="single")
+
+
+@dataclass(frozen=True)
+class NeighborJoiningBuilder(TreeBuilder):
+    """Saitou-Nei neighbour joining, rooted at the final join.
+
+    The CLUSTALW-style guide-tree method.  O(n^3) with vectorised
+    Q-matrix updates; branch lengths are folded into node heights (max
+    child height plus branch), which is all downstream consumers need.
+    """
+
+    name = "nj"
+
+    def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        d = check_distance_matrix(dist).copy()
+        n = d.shape[0]
+        labels = _resolve_labels(n, labels)
+        if n == 1:
+            return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
+
+        active = list(range(n))
+        node_id = np.arange(n)
+        node_height = np.zeros(2 * n - 1)
+        merges: List[Tuple[int, int]] = []
+        heights: List[float] = []
+        next_id = n
+
+        while len(active) > 2:
+            idx = np.array(active)
+            sub = d[np.ix_(idx, idx)]
+            r = sub.sum(axis=1)
+            m = len(active)
+            q = (m - 2) * sub - r[:, None] - r[None, :]
+            np.fill_diagonal(q, np.inf)
+            a, b = np.unravel_index(int(q.argmin()), q.shape)
+            ia, ib = idx[a], idx[b]
+            dab = d[ia, ib]
+            # Branch lengths to the new internal node.
+            la = 0.5 * dab + (r[a] - r[b]) / (2 * (m - 2))
+            lb = dab - la
+            la, lb = max(la, 0.0), max(lb, 0.0)
+
+            merges.append((int(node_id[ia]), int(node_id[ib])))
+            h = max(
+                node_height[node_id[ia]] + la, node_height[node_id[ib]] + lb
+            )
+            heights.append(h)
+            node_height[next_id] = h
+
+            # Distances from the new node to the remaining ones.
+            rest = [x for x in active if x not in (ia, ib)]
+            for x in rest:
+                d[ia, x] = d[x, ia] = 0.5 * (d[ia, x] + d[ib, x] - dab)
+            node_id[ia] = next_id
+            next_id += 1
+            active.remove(ib)
+
+        ia, ib = active
+        merges.append((int(node_id[ia]), int(node_id[ib])))
+        heights.append(
+            max(node_height[node_id[ia]], node_height[node_id[ib]])
+            + d[ia, ib] / 2.0
+        )
+        return GuideTree(n, np.array(merges), np.array(heights), labels)
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+
+
+@dataclass(frozen=True)
+class _BuilderEntry:
+    name: str
+    factory: Callable[..., TreeBuilder]
+    description: str
+
+
+_BUILDERS: Dict[str, _BuilderEntry] = {}
+
+
+def register_builder(
+    name: str,
+    factory: Callable[..., TreeBuilder],
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register a tree-builder factory under ``name``.
+
+    ``factory(**kwargs)`` must return a :class:`TreeBuilder`.  Names are
+    case-insensitive and shared by every layer's ``tree=`` option
+    (baseline configs, ``engine_kwargs``, the gateway defaults, the
+    CLI's ``--tree``).
+    """
+    key = name.lower()
+    if key in _BUILDERS and not overwrite:
+        raise ValueError(
+            f"tree builder {name!r} already registered "
+            "(pass overwrite=True to replace)"
+        )
+    _BUILDERS[key] = _BuilderEntry(key, factory, description)
+
+
+def unregister_builder(name: str) -> None:
+    """Remove a builder from the registry."""
+    try:
+        del _BUILDERS[name.lower()]
+    except KeyError:
+        raise KeyError(f"tree builder {name!r} is not registered") from None
+
+
+def available_builders() -> List[str]:
+    """Sorted names of the registered tree builders."""
+    return sorted(_BUILDERS)
+
+
+def builder_info() -> Dict[str, str]:
+    """``{name: one-line topology description}``, name-sorted."""
+    return {
+        name: _BUILDERS[name].description for name in sorted(_BUILDERS)
+    }
+
+
+def get_builder(
+    builder: Union[str, TreeBuilder, None] = None, **kwargs: Any
+) -> TreeBuilder:
+    """Resolve a builder selection to an instance.
+
+    ``None`` means :data:`DEFAULT_BUILDER`; a string resolves through
+    the registry (``kwargs`` feed the factory); a :class:`TreeBuilder`
+    instance passes through (``kwargs`` must then be empty).
+    """
+    if isinstance(builder, TreeBuilder):
+        if kwargs:
+            raise ValueError(
+                "cannot combine a builder instance with constructor "
+                f"kwargs {sorted(kwargs)}"
+            )
+        return builder
+    if builder is None:
+        builder = DEFAULT_BUILDER
+    try:
+        entry = _BUILDERS[str(builder).lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown tree builder {builder!r}; "
+            f"available: {available_builders()}"
+        ) from None
+    try:
+        return entry.factory(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad options for tree builder {entry.name!r}: {exc}"
+        ) from None
+
+
+register_builder(
+    "upgma",
+    UpgmaBuilder,
+    "average-linkage clustering (MUSCLE draft tree); clock-assuming, "
+    "O(n^2), balanced merge DAGs",
+)
+register_builder(
+    "wpgma",
+    WpgmaBuilder,
+    "weighted (McQuitty) linkage; like upgma but cluster sizes do not "
+    "dilute the update",
+)
+register_builder(
+    "nj",
+    NeighborJoiningBuilder,
+    "Saitou-Nei neighbour joining rooted at the final join (CLUSTALW "
+    "method); no clock assumption, O(n^3)",
+)
+register_builder(
+    "single-linkage",
+    SingleLinkageBuilder,
+    "minimum linkage (nearest-neighbour chaining); cheapest, "
+    "caterpillar-prone -- the merge scheduler's worst case",
+)

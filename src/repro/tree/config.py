@@ -1,0 +1,125 @@
+"""Serializable configuration of a guide-tree stage.
+
+:class:`TreeConfig` is the dict-round-trippable form of "which tree
+builder, executed where" -- the shape that travels through
+``engine_kwargs`` (it is JSON-able, so request content hashes and the
+serving layer's coalescing keys see the effective choice) and through
+baseline dataclass fields.  ``backend``/``workers`` here place the
+*progressive merge DAG* (:func:`repro.tree.progressive_merge`), not the
+tree construction itself -- building the tree is cheap; replaying it is
+the serial hot path worth scheduling.
+
+Baselines accept the full spectrum of ``tree=`` values and funnel them
+through :func:`resolve_tree_stage`:
+
+- ``None`` -- the baseline's historical default builder;
+- a registry name (``"nj"``, ``"upgma"``, ...);
+- a dict -- ``TreeConfig.from_dict`` (the JSON/engine_kwargs form);
+- a :class:`TreeConfig`;
+- a ready :class:`~repro.tree.builders.TreeBuilder` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.distance.config import validate_backend_name
+from repro.tree.builders import TreeBuilder, available_builders, get_builder
+
+__all__ = ["TreeConfig", "resolve_tree_stage"]
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """One guide-tree stage, described completely (validated, JSON-able).
+
+    Attributes
+    ----------
+    builder:
+        Registry name (``"upgma"``, ``"wpgma"``, ``"nj"``,
+        ``"single-linkage"``; see :func:`repro.tree.available_builders`).
+    backend:
+        Execution backend of the DAG-scheduled progressive merge
+        (``"threads"``/``"processes"``; ``None`` = merge serially).
+    workers:
+        Rank count for the merge scheduler (``None`` = host core count,
+        capped at the schedule's peak width).
+    """
+
+    builder: str = "upgma"
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if str(self.builder).lower() not in available_builders():
+            raise ValueError(
+                f"unknown tree builder {self.builder!r}; "
+                f"available: {available_builders()}"
+            )
+        validate_backend_name(self.backend, "tree backend")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        return {
+            "builder": self.builder,
+            "backend": self.backend,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TreeConfig":
+        unknown = set(data) - {"builder", "backend", "workers"}
+        if unknown:
+            raise ValueError(f"unknown TreeConfig keys {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def make_builder(self) -> TreeBuilder:
+        """Build the configured tree builder."""
+        return get_builder(self.builder)
+
+
+def resolve_tree_stage(
+    tree: Union[str, dict, TreeConfig, TreeBuilder, None] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    *,
+    default: Optional[Callable[[], TreeBuilder]] = None,
+) -> Tuple[TreeBuilder, Optional[str], Optional[int]]:
+    """Normalise a baseline's tree options to ``(builder, backend,
+    workers)``.
+
+    ``default`` builds the baseline's historical builder when ``tree``
+    is None (e.g. neighbour joining for the CLUSTALW-like aligner).
+    Explicit ``backend``/``workers`` arguments win over the config's.
+    """
+    config: Optional[TreeConfig] = None
+    if isinstance(tree, Mapping):
+        tree = TreeConfig.from_dict(tree)
+    if isinstance(tree, TreeConfig):
+        config = tree
+        builder = config.make_builder()
+    elif isinstance(tree, TreeBuilder):
+        builder = tree
+    elif isinstance(tree, str):
+        try:
+            builder = get_builder(tree.lower())
+        except KeyError as exc:
+            raise ValueError(exc.args[0] if exc.args else str(exc)) from None
+    elif tree is None:
+        builder = default() if default is not None else get_builder(None)
+    else:
+        raise ValueError(
+            "tree must be a builder name, a TreeConfig (or its dict "
+            f"form), a TreeBuilder, or None -- got {tree!r}"
+        )
+    if backend is None and config is not None:
+        backend = config.backend
+    if workers is None and config is not None:
+        workers = config.workers
+    validate_backend_name(backend, "tree backend")
+    if workers is not None and workers < 1:
+        raise ValueError("tree workers must be >= 1 (or None)")
+    return builder, backend, workers

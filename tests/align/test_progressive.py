@@ -35,16 +35,27 @@ class TestProgressive:
         aln = progressive_align(list(tiny_seqs), tree)
         assert aln.ids == tiny_seqs.ids
 
-    def test_single_sequence(self):
+    def test_single_sequence_rejected(self):
+        """<2 sequences is a clean ValueError (wrap lone sequences with
+        Alignment.from_single instead, as every baseline does)."""
         s = Sequence("a", "MKV")
         tree = upgma(np.zeros((1, 1)), ["a"])
-        aln = progressive_align([s], tree)
-        assert aln.n_rows == 1 and aln.row_text("a") == "MKV"
+        with pytest.raises(ValueError, match="at least 2"):
+            progressive_align([s], tree)
 
     def test_label_mismatch_rejected(self, tiny_seqs):
-        tree = build_tree(tiny_seqs)
+        """Equal leaf count but different ids hits the label-set check."""
+        seqs = list(tiny_seqs)
+        tree = build_tree(seqs[:-1] + [Sequence("imposter", "MKVLLT")])
         with pytest.raises(ValueError, match="labels"):
-            progressive_align(list(tiny_seqs)[:-1], tree)
+            progressive_align(seqs, tree)
+
+    def test_leaf_count_mismatch_rejected(self, tiny_seqs):
+        """A tree over a subset errors cleanly instead of IndexError-ing
+        deep inside numpy."""
+        tree = build_tree(list(tiny_seqs)[:-2])
+        with pytest.raises(ValueError, match="leaves"):
+            progressive_align(list(tiny_seqs), tree)
 
     def test_weights_change_result_shape_safely(self, tiny_seqs):
         tree = build_tree(tiny_seqs)

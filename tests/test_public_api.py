@@ -40,3 +40,4 @@ class TestLazyImports:
         import repro.samplesort
         import repro.seq
         import repro.serve
+        import repro.tree

@@ -1,0 +1,210 @@
+"""Tests for repro.tree.builders: the TreeBuilder registry + the math."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import squareform
+
+from repro.align.guide_tree import GuideTree, neighbor_joining, upgma, wpgma
+from repro.tree import (
+    DEFAULT_BUILDER,
+    NeighborJoiningBuilder,
+    SingleLinkageBuilder,
+    TreeBuilder,
+    TreeConfig,
+    UpgmaBuilder,
+    available_builders,
+    builder_info,
+    get_builder,
+    register_builder,
+    resolve_tree_stage,
+    unregister_builder,
+)
+
+
+def random_distance_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(0.1, 2.0, (n, n))
+    m = (m + m.T) / 2
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert set(available_builders()) >= {
+            "upgma", "wpgma", "nj", "single-linkage"
+        }
+        assert DEFAULT_BUILDER in available_builders()
+
+    def test_info_has_descriptions(self):
+        info = builder_info()
+        assert set(info) == set(available_builders())
+        assert all(desc for desc in info.values())
+
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(get_builder("UPGMA"), UpgmaBuilder)
+        assert isinstance(get_builder("NJ"), NeighborJoiningBuilder)
+
+    def test_get_default(self):
+        assert get_builder(None).name == DEFAULT_BUILDER
+
+    def test_instance_passthrough(self):
+        b = SingleLinkageBuilder()
+        assert get_builder(b) is b
+        with pytest.raises(ValueError, match="instance"):
+            get_builder(b, k=3)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown tree builder"):
+            get_builder("neighbour-of-the-beast")
+
+    def test_register_unregister_roundtrip(self):
+        register_builder("custom-tree-xyz", UpgmaBuilder, "test")
+        try:
+            assert "custom-tree-xyz" in available_builders()
+            with pytest.raises(ValueError, match="already registered"):
+                register_builder("custom-tree-xyz", UpgmaBuilder)
+            register_builder(
+                "custom-tree-xyz", SingleLinkageBuilder, overwrite=True
+            )
+            assert isinstance(
+                get_builder("custom-tree-xyz"), SingleLinkageBuilder
+            )
+        finally:
+            unregister_builder("custom-tree-xyz")
+        assert "custom-tree-xyz" not in available_builders()
+        with pytest.raises(KeyError):
+            unregister_builder("custom-tree-xyz")
+
+    def test_builders_are_picklable(self):
+        import pickle
+
+        for name in available_builders():
+            b = get_builder(name)
+            assert pickle.loads(pickle.dumps(b)).name == b.name
+
+
+class TestBuilderMath:
+    @pytest.mark.parametrize("name", ["upgma", "wpgma", "nj", "single-linkage"])
+    @pytest.mark.parametrize("n", [2, 3, 9])
+    def test_valid_tree_any_size(self, name, n):
+        t = get_builder(name).build(random_distance_matrix(n, n))
+        assert isinstance(t, GuideTree)
+        assert t.n_leaves == n
+
+    def test_single_leaf(self):
+        for name in available_builders():
+            t = get_builder(name).build(np.zeros((1, 1)), ["only"])
+            assert t.n_leaves == 1 and t.labels == ["only"]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_linkage_matches_scipy(self, seed):
+        m = random_distance_matrix(10, seed)
+        ours = SingleLinkageBuilder().build(m)
+        Z = sch.linkage(squareform(m), method="single")
+        # Merge heights are half the linkage distances.
+        assert np.allclose(sorted(2 * ours.heights), sorted(Z[:, 2]))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_linkage_heights_monotone(self, seed):
+        # The minimum pairwise distance never shrinks under min-linkage
+        # updates, so merge heights are non-decreasing.
+        t = SingleLinkageBuilder().build(random_distance_matrix(12, seed))
+        assert (np.diff(t.heights) >= -1e-12).all()
+
+    def test_legacy_delegates_agree_with_registry(self):
+        m = random_distance_matrix(8, 42)
+        labels = [f"s{i}" for i in range(8)]
+        for legacy, name in (
+            (upgma, "upgma"), (wpgma, "wpgma"), (neighbor_joining, "nj"),
+        ):
+            a = legacy(m, labels)
+            b = get_builder(name).build(m, labels)
+            assert a.merges.tobytes() == b.merges.tobytes()
+            assert a.heights.tobytes() == b.heights.tobytes()
+            assert a.labels == b.labels
+
+    def test_bad_matrices_rejected(self):
+        b = get_builder("upgma")
+        with pytest.raises(ValueError, match="square"):
+            b.build(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="symmetric"):
+            b.build(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            b.build(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="labels"):
+            b.build(random_distance_matrix(3, 0), ["a", "b"])
+
+    def test_builder_is_callable(self):
+        m = random_distance_matrix(4, 1)
+        b = get_builder("wpgma")
+        assert b(m).merges.tobytes() == b.build(m).merges.tobytes()
+
+
+class TestTreeConfig:
+    def test_defaults_valid(self):
+        cfg = TreeConfig()
+        assert cfg.builder == "upgma"
+        assert cfg.make_builder().name == "upgma"
+
+    def test_dict_roundtrip(self):
+        cfg = TreeConfig(builder="nj", backend="threads", workers=3)
+        assert TreeConfig.from_dict(cfg.to_dict()) == cfg
+        import json
+
+        json.dumps(cfg.to_dict())  # JSON-able (engine_kwargs contract)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown TreeConfig keys"):
+            TreeConfig.from_dict({"builder": "nj", "estimator": "ktuple"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown tree builder"):
+            TreeConfig(builder="nope")
+        with pytest.raises(ValueError, match="backend"):
+            TreeConfig(backend="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            TreeConfig(workers=0)
+
+
+class TestResolveTreeStage:
+    def test_none_uses_default_factory(self):
+        builder, backend, workers = resolve_tree_stage(
+            None, default=lambda: NeighborJoiningBuilder()
+        )
+        assert builder.name == "nj"
+        assert backend is None and workers is None
+
+    def test_name_and_config_and_instance(self):
+        for tree in ("wpgma", TreeConfig(builder="wpgma"),
+                     {"builder": "wpgma"}, get_builder("wpgma")):
+            builder, _, _ = resolve_tree_stage(tree)
+            assert builder.name == "wpgma"
+
+    def test_config_backend_flows_unless_overridden(self):
+        cfg = TreeConfig(builder="nj", backend="threads", workers=2)
+        _, backend, workers = resolve_tree_stage(cfg)
+        assert (backend, workers) == ("threads", 2)
+        _, backend, workers = resolve_tree_stage(cfg, "processes", 4)
+        assert (backend, workers) == ("processes", 4)
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            resolve_tree_stage("nope")
+        with pytest.raises(ValueError):
+            resolve_tree_stage(123)
+        with pytest.raises(ValueError):
+            resolve_tree_stage("nj", "gpu")
+        with pytest.raises(ValueError):
+            resolve_tree_stage("nj", None, 0)
+
+    def test_protocol_subclass_accepted(self):
+        class Star(TreeBuilder):
+            name = "star-test"
+
+            def build(self, dist, labels=None):
+                return get_builder("upgma").build(dist, labels)
+
+        builder, _, _ = resolve_tree_stage(Star())
+        assert builder.name == "star-test"
