@@ -6,7 +6,8 @@ Commands
               (``--engine``: Sample-Align-D, the parallel baseline, or any
               sequential system) and write gapped FASTA.  ``--backend``
               picks the execution backend for distributed engines
-              (``threads`` virtual cluster vs ``processes`` real cores).
+              (``threads`` virtual cluster, ``processes`` real cores,
+              or ``pool`` persistent warm workers).
 ``generate``  Emit a rose-style synthetic family as FASTA (optionally the
               true alignment too).
 ``rank``      Print k-mer rank statistics of a FASTA file (centralized vs
@@ -33,7 +34,8 @@ Commands
 ``serve``     Start the alignment-serving HTTP gateway (admission
               control, coalescing, optional disk-backed result store;
               ``--backend processes`` runs distributed requests on real
-              cores).
+              cores, ``--backend pool`` keeps a warm worker pool alive
+              across requests).
 ``loadtest``  Drive an in-process gateway with seeded synthetic traffic
               and report throughput/latency/hit-rates.
 """
@@ -103,9 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="execution backend for distributed engines: 'threads' "
         "(default; virtual cluster, best modeled-time fidelity, GIL-bound "
-        "compute) or 'processes' (one OS process per rank; use it to "
-        "actually parallelize on a multi-core host). Alignments are "
-        "byte-identical across backends.",
+        "compute), 'processes' (one OS process per rank; use it to "
+        "actually parallelize on a multi-core host), or 'pool' "
+        "(persistent warm workers with shared-memory transport; best "
+        "for repeated runs). Alignments are byte-identical across "
+        "backends.",
     )
     p_align.add_argument(
         "--distance",
@@ -121,8 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="execution backend for the all-pairs distance stage "
-        "('threads' or 'processes'; output is byte-identical to the "
-        "serial stage). Guide-tree engines only.",
+        "('threads', 'processes' or 'pool'; output is byte-identical "
+        "to the serial stage). Guide-tree engines only.",
     )
     p_align.add_argument(
         "--tree",
@@ -137,8 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="execution backend for the DAG-scheduled progressive merge "
-        "('threads' or 'processes'; byte-identical to the serial "
-        "walk). Guide-tree engines only.",
+        "('threads', 'processes' or 'pool'; byte-identical to the "
+        "serial walk). Guide-tree engines only.",
     )
     p_align.add_argument(
         "--json",
@@ -210,7 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument(
         "--backend", default=None, metavar="NAME",
         help="execution backend for the tiled all-pairs scheduler "
-        "('threads' or 'processes'; default: serial)",
+        "('threads', 'processes' or 'pool'; default: serial)",
     )
     p_dist.add_argument(
         "--workers", type=int, default=None,
@@ -298,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="also probe this execution backend's measured throughput "
-        "('threads' or 'processes') on a workload subsample, and "
+        "('threads', 'processes' or 'pool') on a workload subsample, and "
         "recommend from the measurement rather than the calibrated "
         "model alone (the model assumes one real core per rank, which "
         "the threads backend cannot honour)",
@@ -351,8 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for distributed requests that "
-        "don't choose one ('threads' or 'processes'; pick 'processes' "
-        "to serve Sample-Align-D on real cores)",
+        "don't choose one ('threads', 'processes' or 'pool'; pick "
+        "'processes' to serve Sample-Align-D on real cores, or 'pool' "
+        "to reuse warm workers across requests)",
     )
     p_serve.add_argument(
         "--distance",
@@ -367,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for those requests' all-pairs "
-        "distance stage ('threads' or 'processes')",
+        "distance stage ('threads', 'processes' or 'pool')",
     )
     p_serve.add_argument(
         "--tree",
@@ -382,7 +387,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for those requests' "
-        "DAG-scheduled progressive merge ('threads' or 'processes')",
+        "DAG-scheduled progressive merge ('threads', 'processes' or "
+        "'pool')",
     )
 
     p_load = sub.add_parser(
@@ -420,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for distributed requests "
-        "('threads' or 'processes')",
+        "('threads', 'processes' or 'pool')",
     )
     p_load.add_argument(
         "--distance",
@@ -434,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for the distance stage of those "
-        "requests ('threads' or 'processes')",
+        "requests ('threads', 'processes' or 'pool')",
     )
     p_load.add_argument(
         "--tree",
@@ -448,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="default execution backend for the progressive merge of "
-        "those requests ('threads' or 'processes')",
+        "those requests ('threads', 'processes' or 'pool')",
     )
     p_load.add_argument(
         "--json",
@@ -716,6 +722,11 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         "host cores, identical output"
     )
     print(
+        "  pool:      persistent warm workers + shared-memory transport "
+        "-- processes parallelism without per-run spawn cost; best for "
+        "repeated runs and serving"
+    )
+    print(
         "\ndistance estimators (--distance; engines marked +distance route "
         "their guide-tree stage through repro.distance.all_pairs):"
     )
@@ -763,7 +774,8 @@ def _cmd_distances(args: argparse.Namespace) -> int:
         print(
             f"execution backends (--backend): "
             f"{', '.join(available_backends())} -- byte-identical output, "
-            "'processes' runs the pair DPs on real cores"
+            "'processes'/'pool' run the pair DPs on real cores "
+            "('pool' reuses warm workers across calls)"
         )
         return 0
 
@@ -854,7 +866,8 @@ def _cmd_trees(args: argparse.Namespace) -> int:
             "\nthe progressive merge DAG of any tree runs on any "
             f"execution backend (--tree-backend on align/serve/loadtest): "
             f"{', '.join(available_backends())} -- byte-identical output, "
-            "'processes' merges independent subtrees on real cores"
+            "'processes'/'pool' merge independent subtrees on real cores "
+            "('pool' reuses warm workers across calls)"
         )
         return 0
 

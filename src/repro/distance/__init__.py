@@ -15,7 +15,7 @@ computed serially through three overlapping code paths
   identity matrix (MUSCLE stage 2).
 - :mod:`~repro.distance.allpairs` -- :func:`all_pairs`, the tiled
   scheduler that runs the condensed upper triangle serially, on the
-  execution backends (``backend="threads"|"processes"``, ``workers=N``),
+  execution backends (``backend="threads"|"processes"|"pool"``, ``workers=N``),
   or cooperatively inside an existing SPMD program (``comm=``) --
   always producing byte-identical matrices.
 - :mod:`~repro.distance.config` -- :class:`DistanceConfig`, the

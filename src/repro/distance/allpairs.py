@@ -5,7 +5,7 @@ matrix by tiling the condensed upper triangle (the ``n*(n-1)/2`` pairs)
 into chunks and executing the chunks
 
 - **serially** (``backend=None``, the default -- no scheduler overhead),
-- **on an execution backend** (``backend="threads"|"processes"``,
+- **on an execution backend** (``backend="threads"|"processes"|"pool"``,
   ``workers=N`` -- the PR 3 registry; ``processes`` puts the per-pair
   DPs on real cores), or
 - **cooperatively inside an existing SPMD program** (``comm=...`` --
@@ -16,7 +16,7 @@ into chunks and executing the chunks
 Determinism contract: a pair's value depends only on the two sequences
 and the estimator (see :class:`~repro.distance.estimators
 .DistanceEstimator`), and every pair is computed and written exactly
-once -- so serial, threads and processes schedules produce
+once -- so serial, threads, processes and pool schedules produce
 **byte-identical** matrices for any tiling.
 """
 
@@ -167,7 +167,7 @@ def all_pairs(
     Returns
     -------
     ``(n, n)`` float64 symmetric matrix, zero diagonal, byte-identical
-    across serial/threads/processes schedules.
+    across serial/threads/processes/pool schedules.
     """
     seqs = _validate_seqs(seqs)
     est = get_estimator(estimator, **estimator_kwargs)

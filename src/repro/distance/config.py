@@ -86,7 +86,7 @@ class DistanceConfig:
         not on an identity scale).
     backend:
         Execution backend of the tiled all-pairs scheduler
-        (``"threads"``/``"processes"``; ``None`` = compute serially).
+        (``"threads"``/``"processes"``/``"pool"``; ``None`` = compute serially).
     workers:
         Rank count for the scheduler (``None`` = host core count).
     """

@@ -75,7 +75,7 @@ class SampleAlignDEngine:
         Alpha-beta communication model for the modeled cluster time.
     backend:
         Default execution backend for runs through this engine instance
-        (``"threads"``/``"processes"``).  A request whose config sets
+        (``"threads"``/``"processes"``/``"pool"``).  A request whose config sets
         ``backend`` wins over this default; requests can also select it
         per-request via ``engine_kwargs={"backend": ...}`` (which builds
         the engine with that default).

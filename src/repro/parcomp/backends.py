@@ -4,7 +4,7 @@ An :class:`ExecutionBackend` decides *where* the ranks of an SPMD program
 run; the rank-side semantics (the :class:`~repro.parcomp.comm.VirtualComm`
 API, message metering, logical clocks) are identical across backends, so
 a program produces byte-identical results no matter which backend executes
-it.  Two backends ship:
+it.  Three backends ship:
 
 - ``"threads"`` (:class:`ThreadBackend`) -- the original virtual cluster:
   one daemon thread per rank sharing a :class:`~repro.parcomp.comm.Fabric`.
@@ -14,10 +14,20 @@ it.  Two backends ship:
 - ``"processes"`` (:class:`ProcessBackend`) -- one OS process per rank
   (stdlib :mod:`multiprocessing`), queues for the wire.  Ranks really run
   in parallel, so Sample-Align-D's wall clock scales with host cores; the
-  price is process startup and pickling payloads across the boundary.
+  price -- paid on *every call* -- is process startup and pickling
+  payloads across the boundary.  This is the cold-start reference
+  backend the pool is measured against.
+- ``"pool"`` (:class:`repro.pool.PoolBackend`) -- real cores without the
+  per-call startup: a persistent, supervised worker pool
+  (:mod:`repro.pool`) created once and reused across runs, with large
+  payloads riding zero-copy shared-memory segments instead of pickled
+  queues.
 
 Rule of thumb: ``threads`` for studying the paper's communication model,
-``processes`` for actually aligning fast on a multi-core host.
+``pool`` for actually aligning fast -- especially the serving stack's
+repeated short jobs -- and ``processes`` as the simple cold-start
+baseline the pool's warm-start win is benchmarked against
+(``benchmarks/bench_pool_scaling.py``).
 
 Backends register by name (:func:`register_backend`) so callers select
 them with a string the whole stack -- driver, engine, service, gateway,
@@ -367,6 +377,13 @@ def _process_rank_main(
 class ProcessBackend(ExecutionBackend):
     """One OS process per rank; queues move the messages.
 
+    This is the *cold-start reference backend*: every :meth:`run` pays
+    rank-process creation and teardown, and every payload is pickled
+    through a queue.  That makes it the simplest way to use real cores
+    for one long run, and the baseline the persistent ``"pool"`` backend
+    (:mod:`repro.pool`) is measured against on repeated short jobs,
+    where the per-call startup dominates.
+
     Parameters
     ----------
     start_method:
@@ -602,5 +619,17 @@ def get_backend(
     return factory()
 
 
+def _pool_backend_factory() -> ExecutionBackend:
+    """Lazy factory: importing :mod:`repro.pool` here (not at module
+    import) keeps the dependency one-way -- the pool builds *on* the
+    backend seam -- while ``"pool"`` still shows up in
+    :func:`available_backends` and in ``get_backend`` error messages
+    from the first import of this module."""
+    from repro.pool import PoolBackend
+
+    return PoolBackend()
+
+
 register_backend("threads", ThreadBackend)
 register_backend("processes", ProcessBackend)
+register_backend("pool", _pool_backend_factory)

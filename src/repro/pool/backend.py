@@ -1,0 +1,159 @@
+"""The ``"pool"`` execution backend and the process-default pool.
+
+:class:`PoolBackend` is the registry face of :mod:`repro.pool`: it
+satisfies the :class:`~repro.parcomp.backends.ExecutionBackend` contract
+(same program semantics, same abort semantics, byte-identical results)
+while executing ranks on a warm :class:`~repro.pool.workers.WorkerPool`
+instead of freshly spawned processes.  Two behaviours are layered on top
+of the raw pool:
+
+- **crash retry** -- a :class:`~repro.pool.workers.WorkerCrashError`
+  means a worker *process* died, not that the program failed.  The rank
+  programs this repo runs (distance tiles, merge DAG ranks,
+  Sample-Align-D) are deterministic and side-effect-free, so the whole
+  run is retried on the respawned workers -- the caller still gets the
+  byte-identical result or, after ``max_retries`` consecutive crashes,
+  a ``RuntimeError``.  Program exceptions are never retried.
+- **capacity fallback** -- a pool has a fixed slot count; a run asking
+  for more ranks than that overflows to a cold
+  :class:`~repro.parcomp.backends.ProcessBackend` call (counted in
+  ``pool.stats()["fallback_runs"]``) rather than failing.
+
+Most callers never construct a pool: ``backend="pool"`` anywhere in the
+stack resolves to :func:`get_default_pool`, one process-wide pool created
+on first use and closed at interpreter exit.  Long-lived owners (the
+serving gateway) install their own pool with :func:`set_default_pool` so
+every layer underneath them dispatches onto it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.parcomp.backends import ExecutionBackend, ProcessBackend, SpmdResult
+from repro.parcomp.cost import CostModel
+from repro.pool.workers import WorkerCrashError, WorkerPool
+
+__all__ = [
+    "PoolBackend",
+    "close_default_pool",
+    "get_default_pool",
+    "set_default_pool",
+]
+
+
+class PoolBackend(ExecutionBackend):
+    """Run SPMD programs on a persistent, supervised worker pool.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`WorkerPool` to dispatch onto.  ``None`` (the common
+        case -- every ``backend="pool"`` string resolves here) means the
+        process-default pool from :func:`get_default_pool`, re-resolved
+        per run so a gateway-installed pool takes effect immediately.
+    max_retries:
+        Whole-run retries after worker *crashes* (program errors are
+        never retried).  Sound because the repo's rank programs are
+        deterministic and side-effect-free.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self, pool: Optional[WorkerPool] = None, max_retries: int = 2
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._pool = pool
+        self.max_retries = max_retries
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool if self._pool is not None else get_default_pool()
+
+    def run(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        cost_model: CostModel | None = None,
+        **kwargs: Any,
+    ) -> SpmdResult:
+        self._validate(n_ranks, rank_args)
+        pool = self.pool
+        if n_ranks > pool.max_workers:
+            # Fixed slot count: overflow runs cold rather than failing.
+            pool.note_fallback()
+            res = ProcessBackend(start_method=pool.start_method).run(
+                n_ranks, fn, args, rank_args, cost_model, **kwargs
+            )
+            return SpmdResult(res.results, res.ledger, backend=self.name)
+        last_crash: Optional[WorkerCrashError] = None
+        for _attempt in range(self.max_retries + 1):
+            try:
+                return pool.run_spmd(
+                    n_ranks, fn, args, rank_args, cost_model, **kwargs
+                )
+            except WorkerCrashError as exc:
+                last_crash = exc
+        raise RuntimeError(
+            f"pool run failed after {self.max_retries + 1} attempts "
+            f"(workers kept dying): {last_crash!r}"
+        ) from last_crash
+
+
+# ---------------------------------------------------------------------------
+# The process-default pool.
+
+_default_pool: Optional[WorkerPool] = None
+_default_lock = threading.Lock()
+
+
+def get_default_pool() -> WorkerPool:
+    """The process-wide pool, created on first use.
+
+    Sized by ``REPRO_POOL_WORKERS`` (default: host cores, min 2) and
+    closed automatically at interpreter exit.  Refuses to run inside a
+    pool worker: a rank program that asked for ``backend="pool"`` again
+    would fork a pool per worker, recursively.
+    """
+    if os.environ.get("REPRO_POOL_IN_WORKER"):
+        raise RuntimeError(
+            "backend='pool' is not available inside a pool worker; "
+            "nested runs should use backend='threads'"
+        )
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool.closed:
+            _default_pool = WorkerPool()
+        return _default_pool
+
+
+def set_default_pool(pool: Optional[WorkerPool]) -> Optional[WorkerPool]:
+    """Install ``pool`` as the process default; returns the previous one.
+
+    The previous pool is *not* closed -- the caller decides (the gateway
+    restores it on shutdown).  Passing ``None`` just clears the slot so
+    the next :func:`get_default_pool` creates a fresh pool.
+    """
+    global _default_pool
+    with _default_lock:
+        previous, _default_pool = _default_pool, pool
+        return previous
+
+
+def close_default_pool() -> None:
+    """Close and clear the process-default pool (idempotent; atexit)."""
+    global _default_pool
+    with _default_lock:
+        pool, _default_pool = _default_pool, None
+    if pool is not None:
+        pool.close()
+
+
+atexit.register(close_default_pool)

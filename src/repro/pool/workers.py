@@ -1,0 +1,1015 @@
+"""The persistent worker pool: long-lived rank processes, reused forever.
+
+The ``processes`` backend pays one ``fork``/``spawn`` per rank per call --
+fine for one long SPMD run, ruinous for the short repeated jobs the
+serving stack issues (`benchmarks/reports/backend_scaling.json` shows the
+startup cost swamping the work).  :class:`WorkerPool` moves that cost to
+construction time: ``max_workers`` slot processes are created once
+(lazily, or eagerly via :meth:`warm_up`) and every subsequent
+:meth:`run_spmd`, ``distance.all_pairs`` or ``tree.progressive_merge``
+dispatch reuses them, paying only a queue round-trip.
+
+Topology (fixed at construction, because :mod:`multiprocessing` queues
+can only be shared with a child at creation time):
+
+- one *task queue* per slot (dispatch + stop control),
+- one *message queue* per slot (SPMD point-to-point; rank ``r`` runs on
+  slot ``r``, so peers address ``msg_qs[dst]`` directly),
+- one shared *result queue* (task results, rank reports, ready/bye),
+- a shared failure :class:`~multiprocessing.Event` and a heartbeat array.
+
+Runs are serialised under a dispatch lock -- the pool is a reusable
+*substrate*, not a concurrent scheduler -- and every in-flight message is
+tagged with a ``run_id`` so leftovers from an aborted or crashed run are
+recognised, drained and their shared-memory segments unlinked instead of
+being misread by the next run.
+
+Payloads ride :mod:`repro.pool.shm`: the per-run program/arguments blob
+(sequence batches, estimator state) is encoded **once** into a shared
+segment that every rank decodes from (kind ``"S"``), and large rank
+messages/results travel as single-consumer segments (kind ``"s"``);
+everything small stays inline on the queue.
+
+Crash semantics: a worker that dies mid-run (signal, OOM) surfaces as
+:class:`WorkerCrashError` after the dead slot is respawned --
+infrastructure failure, distinct from a *program* exception (which raises
+``RuntimeError("rank r failed: ...")`` exactly like the other backends).
+The rank programs this repo runs are deterministic and side-effect-free,
+so :class:`~repro.pool.backend.PoolBackend` retries the whole run on
+crash and still returns byte-identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.parcomp.backends import SpmdResult
+from repro.parcomp.comm import SpmdAbort, Transport, VirtualComm
+from repro.parcomp.cost import CommEvent, CostModel, TimingLedger
+from repro.pool.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    SegmentRegistry,
+    TransportStats,
+    decode_payload,
+    encode_payload,
+    shm_dir_segments,
+    unlink_segment,
+    unlink_wire,
+)
+
+__all__ = ["WorkerCrashError", "WorkerPool"]
+
+#: Reserved non-int tag for barrier control traffic (matches the
+#: processes backend; VirtualComm rejects string tags from programs).
+_CTRL_TAG = "__ctrl__"
+
+#: How often blocked loops re-check queues / the failure flag.
+_POLL_S = 0.05
+
+#: How long a worker gets to come up before warm-up gives up on it.
+_READY_TIMEOUT_S = 15.0
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker process died mid-run (infrastructure, not program).
+
+    The dead slot has already been respawned when this reaches the
+    caller; :class:`~repro.pool.backend.PoolBackend` retries the run.
+    """
+
+
+def _encode_and_forget(
+    obj: Any, registry: SegmentRegistry, threshold: int
+) -> Tuple[str, Any]:
+    """Encode for a queue and hand segment ownership to the consumer."""
+    wire = encode_payload(obj, registry, threshold)
+    if wire[0] == "s":
+        registry.forget(wire[1].name)
+    return wire
+
+
+def _drain_queue(q: Any) -> int:
+    """Empty a queue, unlinking any shm wires riding its items."""
+    drained = 0
+    while True:
+        try:
+            item = q.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            return drained
+        drained += 1
+        if isinstance(item, tuple):
+            for part in item:
+                unlink_wire(part)
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in the slot process).
+
+
+class _PoolRankTransport(Transport):
+    """Queue transport for one SPMD rank hosted on a pool slot.
+
+    Same wire semantics as the processes backend's transport -- per-rank
+    inbox, local ``(src, tag)`` buffer, linear barrier on the control
+    tag -- plus two pool twists: payloads are shm/pickle wires, and every
+    message carries the ``run_id`` so stale traffic from a previous
+    aborted run is unlinked and dropped instead of delivered.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        n_ranks: int,
+        cost_model: Optional[CostModel],
+        msg_qs: List[Any],
+        fail_event: Any,
+        run_id: int,
+        registry: SegmentRegistry,
+        threshold: int,
+    ) -> None:
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self.cost_model = cost_model or CostModel()
+        self.ledger = TimingLedger(n_ranks, self.cost_model)
+        self._msg_qs = msg_qs
+        self._fail_event = fail_event
+        self._run_id = run_id
+        self._registry = registry
+        self._threshold = threshold
+        self._buffer: Dict[Tuple[int, Any], deque] = {}
+
+    # -- failure propagation ------------------------------------------------
+
+    def fail(self, exc: BaseException) -> None:
+        self._fail_event.set()
+
+    def check_failed(self) -> None:
+        if self._fail_event.is_set():
+            raise SpmdAbort("another rank failed")
+
+    # -- point-to-point -----------------------------------------------------
+
+    def post(self, src: int, dst: int, tag: int, payload: Any,
+             ready_time: float, nbytes: int, kind: str) -> None:
+        self.ledger.events.append(
+            CommEvent(kind, src, dst, nbytes, tag, send_clock=ready_time)
+        )
+        wire = _encode_and_forget(payload, self._registry, self._threshold)
+        self._msg_qs[dst].put(("p2p", self._run_id, src, tag, wire, ready_time))
+
+    def collect(self, dst: int, src: int, tag: int) -> Tuple[Any, float]:
+        key = (src, tag)
+        inbox = self._msg_qs[dst]
+        while True:
+            box = self._buffer.get(key)
+            if box:
+                wire, ready = box.popleft()
+                return decode_payload(wire), ready
+            self.check_failed()
+            try:
+                item = inbox.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                continue
+            _, m_run, m_src, m_tag, wire, ready = item
+            if m_run != self._run_id:  # leftover from an aborted run
+                unlink_wire(wire)
+                continue
+            self._buffer.setdefault((m_src, m_tag), deque()).append(
+                (wire, ready)
+            )
+
+    def drain_undelivered(self) -> None:
+        """Unlink wires buffered but never collected (abort path)."""
+        for box in self._buffer.values():
+            for wire, _ready in box:
+                unlink_wire(wire)
+        self._buffer.clear()
+
+    # -- barrier ------------------------------------------------------------
+
+    def barrier(self, clock: float) -> float:
+        """Linear clock-max fan-in/out on the control tag (unmetered)."""
+        if self.n_ranks == 1:
+            return clock
+        if self.rank == 0:
+            mx = clock
+            for src in range(1, self.n_ranks):
+                other, _ = self.collect(0, src, _CTRL_TAG)
+                mx = max(mx, other)
+            for dst in range(1, self.n_ranks):
+                self._msg_qs[dst].put(
+                    ("p2p", self._run_id, 0, _CTRL_TAG,
+                     encode_payload(mx), 0.0)
+                )
+            return mx
+        self._msg_qs[0].put(
+            ("p2p", self._run_id, self.rank, _CTRL_TAG,
+             encode_payload(clock), 0.0)
+        )
+        result, _ = self.collect(self.rank, 0, _CTRL_TAG)
+        return float(result)
+
+
+def _report_wire(
+    report: Dict[str, Any], registry: SegmentRegistry, threshold: int
+) -> Tuple[str, Any]:
+    """Encode a report, downgrading unpicklable payloads to an error.
+
+    Same rationale as the processes backend: pickling happens on the
+    queue feeder thread where a failure is silent, so serialise here and
+    surface the problem as the rank's error instead of a hang.
+    """
+    try:
+        return _encode_and_forget(report, registry, threshold)
+    except Exception:
+        what = "result" if report["status"] == "ok" else "exception"
+        bad = report["result"] if report["status"] == "ok" else report["error"]
+        report = dict(
+            report,
+            result=None,
+            status="error",
+            error=RuntimeError(
+                f"rank {report['rank']} produced an unpicklable "
+                f"{what}: {bad!r}"
+            ),
+        )
+        return _encode_and_forget(report, registry, threshold)
+
+
+def _run_one_rank(
+    slot: int,
+    item: tuple,
+    msg_qs: List[Any],
+    result_q: Any,
+    fail_event: Any,
+    registry: SegmentRegistry,
+    threshold: int,
+) -> None:
+    _, run_id, rank, n_ranks, extra_wire, shared_wire = item
+    transport = _PoolRankTransport(
+        rank, n_ranks, None, msg_qs, fail_event, run_id, registry, threshold
+    )
+    comm: Optional[VirtualComm] = None
+    status, result, error = "ok", None, None
+    try:
+        extra = decode_payload(extra_wire)
+        fn, args, kwargs, cost_model = decode_payload(shared_wire)
+        transport.cost_model = cost_model or CostModel()
+        transport.ledger = TimingLedger(n_ranks, transport.cost_model)
+        comm = VirtualComm(transport, rank)
+        result = fn(comm, *extra, *args, **kwargs)
+    except SpmdAbort:
+        status = "abort"
+    except BaseException as exc:  # noqa: BLE001 - shipped to the pool
+        status, error = "error", exc
+        transport.fail(exc)
+    finally:
+        if comm is not None:
+            comm.finalize()
+        transport.drain_undelivered()
+        report = {
+            "rank": rank,
+            "status": status,
+            "result": result,
+            "error": error,
+            "compute": float(transport.ledger.compute[rank]),
+            "clock": float(transport.ledger.clock[rank]),
+            "events": list(transport.ledger.events),
+            "tstats": registry.stats.to_dict(),
+        }
+        wire = _report_wire(report, registry, threshold)
+        if report["status"] == "error" and status == "ok":
+            fail_event.set()  # unpicklable result fails the run
+        result_q.put(("rank-report", slot, run_id, rank, wire))
+
+
+def _run_one_task(
+    slot: int,
+    item: tuple,
+    result_q: Any,
+    registry: SegmentRegistry,
+    threshold: int,
+) -> None:
+    _, task_id, wire = item
+    status, payload = "ok", None
+    try:
+        fn, args, kwargs = decode_payload(wire, registry)
+        payload = fn(*args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the pool
+        status, payload = "error", exc
+    try:
+        out = _encode_and_forget(payload, registry, threshold)
+    except Exception:
+        status = "error"
+        out = _encode_and_forget(
+            RuntimeError(f"task produced an unpicklable payload: {payload!r}"),
+            registry, threshold,
+        )
+    result_q.put(
+        ("result", slot, task_id, status, out, registry.stats.to_dict())
+    )
+
+
+def _worker_main(
+    slot: int,
+    pool_name: str,
+    task_q: Any,
+    msg_qs: List[Any],
+    result_q: Any,
+    fail_event: Any,
+    heartbeats: Any,
+    hb_interval: float,
+    threshold: int,
+) -> None:
+    """Slot process entry point (module-level: picklable for spawn)."""
+    # A rank program must not open *another* pool inside a worker --
+    # get_default_pool() refuses when this marker is set.
+    os.environ["REPRO_POOL_IN_WORKER"] = "1"
+    registry = SegmentRegistry(f"{pool_name}-w{slot}")
+
+    stop_beat = threading.Event()
+
+    def beat() -> None:
+        while not stop_beat.is_set():
+            heartbeats[slot] = time.time()
+            stop_beat.wait(hb_interval)
+
+    beat_thread = threading.Thread(
+        target=beat, name=f"{pool_name}-w{slot}-beat", daemon=True
+    )
+    beat_thread.start()
+
+    result_q.put(("ready", slot, os.getpid()))
+    try:
+        while True:
+            try:
+                item = task_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                continue
+            kind = item[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "rank":
+                    _run_one_rank(
+                        slot, item, msg_qs, result_q, fail_event,
+                        registry, threshold,
+                    )
+                elif kind == "task":
+                    _run_one_task(slot, item, result_q, registry, threshold)
+            finally:
+                # Anything created but never handed off (error paths) and
+                # any borrow still open is released before the next job.
+                registry.release_all()
+    finally:
+        stop_beat.set()
+        registry.close_all()
+        result_q.put(("bye", slot))
+        # Peers that aborted may never drain our sends; don't let queue
+        # feeder threads block this process's exit.
+        for q in msg_qs:
+            q.cancel_join_thread()
+        task_q.cancel_join_thread()
+
+
+# ---------------------------------------------------------------------------
+# Pool side.
+
+
+@dataclass
+class _Slot:
+    """Parent-side bookkeeping for one worker slot."""
+
+    index: int
+    proc: Optional[Any] = None
+    desired: bool = False  #: should be running (False after idle shrink)
+    last_used: float = field(default_factory=time.monotonic)
+    transport: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+
+class WorkerPool:
+    """A fixed set of long-lived worker processes, reused across runs.
+
+    Parameters
+    ----------
+    max_workers:
+        Slot count, fixed for the pool's lifetime (queues must exist
+        before workers are born).  Runs needing more ranks than this do
+        not fit -- :class:`~repro.pool.backend.PoolBackend` falls back to
+        the cold ``processes`` backend for those.
+    min_workers:
+        Idle shrink floor: the supervisor stops idle workers above this
+        count after ``idle_timeout`` seconds without work.  They restart
+        transparently on the next dispatch that needs them.
+    start_method:
+        :mod:`multiprocessing` start method; default is
+        ``REPRO_POOL_START_METHOD``, else ``REPRO_SPMD_START_METHOD``,
+        else ``fork`` where available.  Unlike the processes backend,
+        programs/arguments are *always* pickled (dispatch rides queues),
+        so module-level functions are required on every start method.
+    shm_threshold:
+        Payload size (serialised bytes) at which transport switches from
+        inline pickle to shared memory (``REPRO_POOL_SHM_THRESHOLD``
+        overrides the default).
+    idle_timeout:
+        Seconds of pool-wide idleness before the supervisor shrinks
+        towards ``min_workers``.
+    heartbeat_interval:
+        Worker heartbeat period; the supervisor treats a worker as hung
+        after ~10 missed beats.
+    respawn:
+        Automatically restart dead workers (the supervisor while idle,
+        the dispatcher mid-run).
+    abort_join_timeout:
+        Grace period for surviving ranks to report after a failure
+        before they are terminated (mirrors the other backends).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        min_workers: int = 1,
+        start_method: Optional[str] = None,
+        shm_threshold: Optional[int] = None,
+        idle_timeout: float = 30.0,
+        heartbeat_interval: float = 0.5,
+        respawn: bool = True,
+        abort_join_timeout: float = 10.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = default_worker_count()
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not 1 <= min_workers <= max_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if shm_threshold is None:
+            shm_threshold = int(
+                os.environ.get("REPRO_POOL_SHM_THRESHOLD", 0)
+            ) or DEFAULT_SHM_THRESHOLD
+        if shm_threshold < 1:
+            raise ValueError("shm_threshold must be >= 1")
+        if idle_timeout <= 0 or heartbeat_interval <= 0:
+            raise ValueError("timeouts must be > 0")
+        if abort_join_timeout <= 0:
+            raise ValueError("abort_join_timeout must be > 0")
+        if start_method is None:
+            start_method = (
+                os.environ.get("REPRO_POOL_START_METHOD")
+                or os.environ.get("REPRO_SPMD_START_METHOD")
+                or None
+            )
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        elif start_method not in mp.get_all_start_methods():
+            raise ValueError(
+                f"unknown start method {start_method!r}; available: "
+                f"{mp.get_all_start_methods()}"
+            )
+
+        self.max_workers = max_workers
+        self.min_workers = min_workers
+        self.start_method = start_method
+        self.shm_threshold = shm_threshold
+        self.idle_timeout = idle_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.respawn = respawn
+        self.abort_join_timeout = abort_join_timeout
+        self.name = name or f"rpool-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+        ctx = mp.get_context(self.start_method)
+        self._ctx = ctx
+        self._task_qs = [ctx.Queue() for _ in range(max_workers)]
+        self._msg_qs = [ctx.Queue() for _ in range(max_workers)]
+        self._result_q = ctx.Queue()
+        self._fail_event = ctx.Event()
+        self._heartbeats = ctx.Array("d", max_workers)
+        self._slots = [_Slot(i) for i in range(max_workers)]
+        self._registry = SegmentRegistry(f"{self.name}-m")
+
+        #: Serialises runs: the pool is a substrate, not a scheduler.
+        self._dispatch_lock = threading.RLock()
+        #: Guards slot/counter state (always acquired after the
+        #: dispatch lock, never the other way around).
+        self._state_lock = threading.RLock()
+
+        self._run_seq = 0
+        self._closed = False
+        self.respawns = 0
+        self.runs = 0
+        self.tasks_served = 0
+        self.fallback_runs = 0
+        self._retired_transport = TransportStats()
+
+        from repro.pool.supervisor import PoolSupervisor
+
+        self._supervisor = PoolSupervisor(self)
+        self._supervisor.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def warm_up(self, n_workers: Optional[int] = None) -> None:
+        """Start (and wait for) ``n_workers`` slots ahead of the first run."""
+        n = self.max_workers if n_workers is None else n_workers
+        if not 1 <= n <= self.max_workers:
+            raise ValueError(f"n_workers must be in [1, {self.max_workers}]")
+        with self._dispatch_lock:
+            self._require_open()
+            self._ensure_workers(n)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful drain: in-flight work finishes, workers stop, shm dies.
+
+        Idempotent.  Acquiring the dispatch lock means any run in flight
+        completes first; queued stop tokens then wind the workers down,
+        with terminate→kill escalation for any that overstay ``timeout``
+        (default: ``abort_join_timeout``).  Every queue is drained and
+        every leftover segment with this pool's name prefix is unlinked.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._supervisor.stop()
+        from repro.pool.supervisor import escalate
+
+        timeout = self.abort_join_timeout if timeout is None else timeout
+        with self._dispatch_lock, self._state_lock:
+            for slot in self._slots:
+                if slot.alive:
+                    self._task_qs[slot.index].put(("stop",))
+            deadline = time.monotonic() + timeout
+            for slot in self._slots:
+                if slot.proc is not None:
+                    slot.proc.join(max(deadline - time.monotonic(), 0.0))
+            for slot in self._slots:
+                if slot.alive:
+                    escalate(slot.proc)
+                self._absorb_transport(slot)
+                slot.proc = None
+                slot.desired = False
+            for q in [*self._task_qs, *self._msg_qs, self._result_q]:
+                _drain_queue(q)
+                q.cancel_join_thread()
+                q.close()
+            self._registry.release_all()
+            # Backstop: a worker killed outside Python cannot clean its
+            # own registry; everything it left carries our name prefix.
+            for seg in shm_dir_segments(self.name):
+                unlink_segment(seg)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"worker pool {self.name!r} is closed")
+
+    # -- worker management ---------------------------------------------------
+
+    def _start_slot(self, index: int) -> None:
+        slot = self._slots[index]
+        self._heartbeats[index] = 0.0
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self.name, self._task_qs[index], self._msg_qs,
+                  self._result_q, self._fail_event, self._heartbeats,
+                  self.heartbeat_interval, self.shm_threshold),
+            name=f"{self.name}-w{index}",
+            daemon=True,
+        )
+        proc.start()
+        slot.proc = proc
+        slot.desired = True
+        slot.last_used = time.monotonic()
+
+    def _ensure_workers(self, n: int) -> None:
+        """Slots ``0..n-1`` running and heart-beating (rank r = slot r)."""
+        with self._state_lock:
+            crashed = any(
+                s.proc is not None and not s.alive and s.proc.exitcode != 0
+                for s in self._slots
+            )
+        if crashed:
+            # A dispatch can reach a signal death before the supervisor
+            # does.  The dead worker may hold queue locks (an idle
+            # ``get`` holds the task queue's reader lock), so starting a
+            # replacement on the old queues would block forever -- any
+            # non-clean exit forces the pool-wide reset.
+            self._reset_workers()
+        started = []
+        with self._state_lock:
+            for i in range(n):
+                slot = self._slots[i]
+                slot.desired = True
+                slot.last_used = time.monotonic()
+                if not slot.alive:
+                    self._absorb_transport(slot)
+                    self._start_slot(i)
+                    started.append(i)
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        for i in started:
+            while self._heartbeats[i] == 0.0:
+                if not self._slots[i].alive or time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        f"worker {i} of pool {self.name!r} failed to start"
+                    )
+                time.sleep(0.005)
+
+    def _reap_slot(self, index: int) -> None:
+        """Fold away a slot whose worker exited *cleanly* (idle shrink)."""
+        with self._state_lock:
+            slot = self._slots[index]
+            if slot.proc is not None and not slot.alive:
+                slot.proc.join(0)
+                self._absorb_transport(slot)
+                slot.proc = None
+
+    def _reset_workers(self) -> None:
+        """Crash recovery: rebuild the whole substrate, then re-warm.
+
+        A worker that died by signal (or was force-terminated while
+        hung) may have been holding a :mod:`multiprocessing` queue lock
+        at the moment of death -- its slot queue's read lock, a peer
+        inbox's write lock, the shared result queue's write lock.  Those
+        locks never release, so surgically respawning one slot onto the
+        old queues can deadlock the survivors.  Recovery is therefore
+        pool-wide: escalate every worker, drain what is drainable
+        (unlinking shm wires), recreate every queue/event/heartbeat,
+        sweep orphaned segments by name prefix, and restart the desired
+        slots.  Expensive, but crashes are the rare path and the result
+        is a provably clean substrate.
+        """
+        from repro.pool.supervisor import escalate
+
+        with self._state_lock:
+            restarted = 0
+            for slot in self._slots:
+                if slot.alive:
+                    escalate(slot.proc)
+                if slot.proc is not None:
+                    slot.proc.join(0)
+                    self._absorb_transport(slot)
+                    slot.proc = None
+            for q in [*self._task_qs, *self._msg_qs, self._result_q]:
+                _drain_queue(q)
+                q.cancel_join_thread()
+                q.close()
+            ctx = self._ctx
+            self._task_qs = [ctx.Queue() for _ in range(self.max_workers)]
+            self._msg_qs = [ctx.Queue() for _ in range(self.max_workers)]
+            self._result_q = ctx.Queue()
+            self._fail_event = ctx.Event()
+            self._heartbeats = ctx.Array("d", self.max_workers)
+            self._sweep_orphans()
+            if self.respawn and not self._closed:
+                for slot in self._slots:
+                    if slot.desired:
+                        self._start_slot(slot.index)
+                        restarted += 1
+            self.respawns += restarted
+
+    def _sweep_orphans(self) -> None:
+        """Unlink pool-prefixed segments no live registry accounts for."""
+        owned = set(self._registry.names())
+        for seg in shm_dir_segments(self.name):
+            if seg not in owned:
+                unlink_segment(seg)
+
+    def _shrink_idle(self) -> None:
+        """Stop idle workers above ``min_workers`` (supervisor-called)."""
+        with self._state_lock:
+            alive = [s for s in self._slots if s.alive]
+            now = time.monotonic()
+            for slot in reversed(alive):
+                if len(alive) <= self.min_workers:
+                    break
+                if now - slot.last_used < self.idle_timeout:
+                    continue
+                self._task_qs[slot.index].put(("stop",))
+                slot.desired = False
+                alive.remove(slot)
+
+    def _absorb_transport(self, slot: _Slot) -> None:
+        """Fold a dead/stopping worker's last-seen byte counts into history."""
+        if slot.transport:
+            self._retired_transport.absorb(slot.transport)
+            slot.transport = {}
+
+    # -- SPMD dispatch -------------------------------------------------------
+
+    def run_spmd(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        cost_model: Optional[CostModel] = None,
+        **kwargs: Any,
+    ) -> SpmdResult:
+        """Execute an SPMD program on warm workers (rank ``r`` on slot ``r``).
+
+        Semantics are identical to the other backends: program errors
+        raise ``RuntimeError("rank r failed: ...")``, infrastructure
+        deaths raise :class:`WorkerCrashError` (after the dead slots are
+        respawned) so the caller may retry on fresh workers.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if rank_args is not None and len(rank_args) != n_ranks:
+            raise ValueError("rank_args must provide one tuple per rank")
+        if n_ranks > self.max_workers:
+            raise ValueError(
+                f"n_ranks={n_ranks} exceeds pool capacity "
+                f"{self.max_workers} (use PoolBackend for cold fallback)"
+            )
+        cost_model = cost_model or CostModel()
+        with self._dispatch_lock:
+            self._require_open()
+            self._ensure_workers(n_ranks)
+            self._fail_event.clear()
+            with self._state_lock:
+                self._run_seq += 1
+                run_id = self._run_seq
+            # One shared segment fans the program + its arguments (the
+            # sequence batches, estimator state, profiles) out to every
+            # rank; the pool owns it until all reports are in.
+            shared_wire = encode_payload(
+                (fn, tuple(args), dict(kwargs), cost_model),
+                self._registry, self.shm_threshold, shared=True,
+            )
+            try:
+                for r in range(n_ranks):
+                    extra = tuple(rank_args[r]) if rank_args is not None else ()
+                    extra_wire = _encode_and_forget(
+                        extra, self._registry, self.shm_threshold
+                    )
+                    self._task_qs[r].put(
+                        ("rank", run_id, r, n_ranks, extra_wire, shared_wire)
+                    )
+                reports, crashed = self._collect_reports(run_id, n_ranks)
+            finally:
+                if shared_wire[0] == "S":
+                    self._registry.release(shared_wire[1].name)
+            return self._assemble(n_ranks, cost_model, reports, crashed)
+
+    def _collect_reports(
+        self, run_id: int, n_ranks: int
+    ) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, BaseException]]:
+        reports: Dict[int, Dict[str, Any]] = {}
+        crashed: Dict[int, BaseException] = {}
+        abort_deadline: Optional[float] = None
+        while len(reports.keys() | crashed.keys()) < n_ranks:
+            if abort_deadline is None and (
+                crashed or self._fail_event.is_set()
+            ):
+                abort_deadline = time.monotonic() + self.abort_join_timeout
+            if (abort_deadline is not None
+                    and time.monotonic() >= abort_deadline):
+                break
+            try:
+                entry = self._result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                # A worker killed outside Python never reports: detect
+                # the death, fail the survivors out of their waits.
+                for r in range(n_ranks):
+                    slot = self._slots[r]
+                    if (not slot.alive and r not in reports
+                            and r not in crashed):
+                        code = (
+                            slot.proc.exitcode if slot.proc is not None
+                            else None
+                        )
+                        crashed[r] = WorkerCrashError(
+                            f"worker {r} of pool {self.name!r} died "
+                            f"mid-run (exitcode {code})"
+                        )
+                        self._fail_event.set()
+                continue
+            kind = entry[0]
+            if kind == "rank-report":
+                _, slot_idx, rid, rank, wire = entry
+                if rid != run_id:  # straggler from an aborted run
+                    unlink_wire(wire)
+                    continue
+                report = decode_payload(wire)
+                reports[rank] = report
+                with self._state_lock:
+                    self._slots[slot_idx].transport = report.get("tstats", {})
+                    self._slots[slot_idx].last_used = time.monotonic()
+            elif kind == "result":  # stale generic-task result
+                unlink_wire(entry[4])
+            # "ready"/"bye" control entries need no action.
+        return reports, crashed
+
+    def _assemble(
+        self,
+        n_ranks: int,
+        cost_model: CostModel,
+        reports: Dict[int, Dict[str, Any]],
+        crashed: Dict[int, BaseException],
+    ) -> SpmdResult:
+        stuck = [
+            r for r in range(n_ranks)
+            if r not in reports and r not in crashed
+        ]
+        # Any slot that did not come back clean -- crashed (already
+        # dead) or stuck (never observed the abort; deep in compute) --
+        # may have poisoned shared queue locks, so recovery rebuilds
+        # the whole substrate.
+        if crashed or stuck:
+            self._reset_workers()
+
+        with self._state_lock:
+            self.runs += 1
+            self.tasks_served += n_ranks
+
+        reported_errors = {
+            r: rep["error"] for r, rep in reports.items()
+            if rep["status"] == "error"
+        }
+        if reported_errors:
+            rank = min(reported_errors)
+            exc = reported_errors[rank]
+            note = (
+                f" ({len(stuck)} rank worker(s) terminated while "
+                f"unwinding: {', '.join(f'rank-{r}' for r in stuck)})"
+                if stuck else ""
+            )
+            raise RuntimeError(f"rank {rank} failed: {exc!r}{note}") from exc
+        if crashed:
+            rank = min(crashed)
+            raise crashed[rank]
+        if stuck:
+            raise RuntimeError(
+                f"rank(s) {', '.join(str(r) for r in stuck)} never "
+                "reported and the pool was recycled"
+            )
+
+        ledger = TimingLedger(n_ranks, cost_model)
+        results: List[Any] = [None] * n_ranks
+        for r in range(n_ranks):
+            rep = reports[r]
+            results[r] = rep["result"]
+            ledger.compute[r] = rep["compute"]
+            ledger.clock[r] = rep["clock"]
+        for r in sorted(reports):  # rank-major merge: identical ledgers
+            ledger.events.extend(reports[r]["events"])
+        return SpmdResult(results, ledger, backend="pool")
+
+    # -- generic task dispatch ----------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        *,
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        """``[fn(item) for item in items]`` on warm workers, in order.
+
+        The non-SPMD dispatch lane (benchmarks, embarrassingly parallel
+        helpers).  Tasks are round-robined over the slots; if a worker
+        dies, its unfinished tasks -- queued *and* in-flight -- are
+        re-dispatched to the respawned worker, so ``fn`` must be pure
+        (every ``fn`` this repo dispatches is).  A task exception raises
+        ``RuntimeError`` immediately; remaining results are discarded by
+        the next dispatch's staleness filter.
+        """
+        if not items:
+            return []
+        kwargs = kwargs or {}
+        with self._dispatch_lock:
+            self._require_open()
+            n = min(self.max_workers, len(items))
+            self._ensure_workers(n)
+            self._fail_event.clear()
+            with self._state_lock:
+                self._run_seq += 1
+                run_id = self._run_seq
+
+            assigned: Dict[int, int] = {}  # task index -> slot
+            results: List[Any] = [None] * len(items)
+            done: set = set()
+
+            def dispatch(tid: int, slot_idx: int) -> None:
+                wire = _encode_and_forget(
+                    (fn, (items[tid],), kwargs),
+                    self._registry, self.shm_threshold,
+                )
+                assigned[tid] = slot_idx
+                self._task_qs[slot_idx].put(("task", (run_id, tid), wire))
+
+            for tid in range(len(items)):
+                dispatch(tid, tid % n)
+
+            while len(done) < len(items):
+                try:
+                    entry = self._result_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    if all(self._slots[i].alive for i in range(n)):
+                        continue
+                    # Drain semantics: a dead worker's unfinished tasks
+                    # -- queued and in-flight -- are re-dispatched onto
+                    # the rebuilt pool (fn is pure, so a task that was
+                    # mid-execution re-runs safely).
+                    self._reset_workers()
+                    self._ensure_workers(n)
+                    if not any(self._slots[i].alive for i in range(n)):
+                        raise WorkerCrashError(
+                            f"pool {self.name!r} lost every worker"
+                        )
+                    for tid in range(len(items)):
+                        if tid not in done:
+                            dispatch(tid, tid % n)
+                    continue
+                kind = entry[0]
+                if kind == "result":
+                    _, slot_idx, task_id, status, wire, tstats = entry
+                    rid, tid = task_id
+                    if rid != run_id or tid in done:
+                        unlink_wire(wire)
+                        continue
+                    with self._state_lock:
+                        self._slots[slot_idx].transport = tstats
+                        self._slots[slot_idx].last_used = time.monotonic()
+                    payload = decode_payload(wire)
+                    if status == "error":
+                        raise RuntimeError(
+                            f"pool task {tid} failed: {payload!r}"
+                        ) from payload
+                    results[tid] = payload
+                    done.add(tid)
+                elif kind == "rank-report":  # straggler from an aborted run
+                    unlink_wire(entry[4])
+
+            with self._state_lock:
+                self.runs += 1
+                self.tasks_served += len(items)
+            return results
+
+    # -- introspection -------------------------------------------------------
+
+    def note_fallback(self) -> None:
+        """Record one run that overflowed to the cold processes backend."""
+        with self._state_lock:
+            self.fallback_runs += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Live pool counters (the gateway surfaces these at ``/metrics``)."""
+        with self._state_lock:
+            transport = TransportStats()
+            transport.absorb(self._retired_transport)
+            for slot in self._slots:
+                if slot.transport:
+                    transport.absorb(slot.transport)
+            transport.absorb(self._registry.stats)
+            return {
+                "name": self.name,
+                "start_method": self.start_method,
+                "max_workers": self.max_workers,
+                "min_workers": self.min_workers,
+                "workers_alive": sum(1 for s in self._slots if s.alive),
+                "worker_pids": [
+                    s.proc.pid for s in self._slots if s.alive
+                ],
+                "respawns": self.respawns,
+                "runs": self.runs,
+                "tasks_served": self.tasks_served,
+                "fallback_runs": self.fallback_runs,
+                "transport": transport.to_dict(),
+                "shm_live_segments": len(shm_dir_segments(self.name)),
+                "shm_bytes_in_flight": self._registry.live_bytes,
+                "closed": self._closed,
+            }
+
+
+def default_worker_count() -> int:
+    """Pool size when the caller does not choose: env override, else
+    every host core (min 2, so the pool parallelises even tiny hosts)."""
+    env = int(os.environ.get("REPRO_POOL_WORKERS", 0) or 0)
+    if env > 0:
+        return env
+    return max(os.cpu_count() or 1, 2)

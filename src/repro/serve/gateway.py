@@ -234,6 +234,18 @@ class AlignmentGateway:
         pre-hash -- how ``repro serve --tree-backend processes`` puts
         every baseline's progressive merge on real cores while keeping
         coalescing and the result cache keyed on the effective request.
+    pool:
+        A configured :class:`~repro.pool.WorkerPool` to serve
+        ``backend="pool"`` requests from.  Whenever any of the three
+        backend defaults above is ``"pool"`` (or ``pool`` is passed
+        explicitly), the gateway owns one worker pool for its lifetime:
+        it constructs the pool at startup (warm workers before the first
+        request), installs it as the process default so every engine /
+        distance / tree dispatch underneath lands on it, exposes its
+        live counters under ``metrics()["pool"]``, and -- if it created
+        the pool itself -- closes it on :meth:`close`.  A supervised
+        pool survives worker crashes (automatic respawn), so a long-
+        running gateway never degrades to cold starts.
     """
 
     def __init__(
@@ -252,6 +264,7 @@ class AlignmentGateway:
         default_distance_backend: Optional[str] = None,
         default_tree: Optional[str] = None,
         default_tree_backend: Optional[str] = None,
+        pool: Optional[Any] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -353,6 +366,26 @@ class AlignmentGateway:
             "failed": 0,
         }
         self._closed = False
+        # Gateway-owned worker pool: one persistent pool for the whole
+        # serving lifetime whenever any default backend is "pool" (or a
+        # pool was handed in).  Installed as the process default so the
+        # engine/distance/tree layers underneath dispatch onto it, and
+        # warmed now so the first request finds running workers.
+        self._pool: Optional[Any] = None
+        self._own_pool = False
+        self._prev_default_pool: Optional[Any] = None
+        wants_pool = pool is not None or "pool" in {
+            self._default_backend,
+            self._default_distance_backend,
+            self._default_tree_backend,
+        }
+        if wants_pool:
+            from repro.pool import WorkerPool, set_default_pool
+
+            self._pool = pool if pool is not None else WorkerPool()
+            self._own_pool = pool is None
+            self._prev_default_pool = set_default_pool(self._pool)
+            self._pool.warm_up()
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"gateway-worker-{i}", daemon=True
@@ -378,6 +411,12 @@ class AlignmentGateway:
             t.join()
         if self._close_service:
             self._service.close()
+        if self._pool is not None:
+            from repro.pool import set_default_pool
+
+            set_default_pool(self._prev_default_pool)
+            if self._own_pool:
+                self._pool.close()
 
     def __enter__(self) -> "AlignmentGateway":
         return self
@@ -388,6 +427,11 @@ class AlignmentGateway:
     @property
     def service(self) -> AlignmentService:
         return self._service
+
+    @property
+    def pool(self) -> Optional[Any]:
+        """The gateway-owned worker pool (None unless serving ``pool``)."""
+        return self._pool
 
     # -- admission ---------------------------------------------------------
 
@@ -596,4 +640,6 @@ class AlignmentGateway:
             "mean_s": (sum(latencies) / len(latencies)) if latencies else None,
         }
         out["service"] = self._service.stats
+        if self._pool is not None:
+            out["pool"] = self._pool.stats()
         return out

@@ -18,7 +18,7 @@ subtrees are independent.  This package unifies that stage the same way
   scheduled exactly once, after both children).
 - :mod:`~repro.tree.merge` -- :func:`progressive_merge`, the DAG
   executor that folds leaf profiles up the tree serially, on the
-  execution backends (``backend="threads"|"processes"``, ``workers=N``),
+  execution backends (``backend="threads"|"processes"|"pool"``, ``workers=N``),
   or cooperatively inside an existing SPMD program (``comm=``) --
   always producing byte-identical alignments.
 - :mod:`~repro.tree.config` -- :class:`TreeConfig`, the validated,

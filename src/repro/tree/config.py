@@ -41,7 +41,7 @@ class TreeConfig:
         ``"single-linkage"``; see :func:`repro.tree.available_builders`).
     backend:
         Execution backend of the DAG-scheduled progressive merge
-        (``"threads"``/``"processes"``; ``None`` = merge serially).
+        (``"threads"``/``"processes"``/``"pool"``; ``None`` = merge serially).
     workers:
         Rank count for the merge scheduler (``None`` = host core count,
         capped at the schedule's peak width).

@@ -6,7 +6,7 @@ profiles up the guide tree by executing the
 
 - **serially** (``backend=None``, the default -- the classic post-order
   walk, no scheduler overhead),
-- **on an execution backend** (``backend="threads"|"processes"``,
+- **on an execution backend** (``backend="threads"|"processes"|"pool"``,
   ``workers=N`` -- the PR 3 registry; ``processes`` puts the
   profile-profile DPs of independent subtrees on real cores), or
 - **cooperatively inside an existing SPMD program** (``comm=...`` --
@@ -17,7 +17,7 @@ profiles up the guide tree by executing the
 Determinism contract: a merge's output depends only on its two child
 profiles and the ``merge_node`` callable (which must itself be
 deterministic), and every internal node is computed exactly once -- so
-serial, threads, processes and cooperative schedules produce
+serial, threads, processes, pool and cooperative schedules produce
 **byte-identical** alignments for any level assignment.
 """
 

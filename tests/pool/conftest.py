@@ -1,0 +1,28 @@
+"""Shared fixtures for the pool-backend tests.
+
+The build host may have a single core, in which case the process-default
+pool holds only two slots and anything needing more ranks silently
+falls back to the cold processes backend -- defeating every test here.
+Each module therefore runs against an explicit five-slot pool installed
+as the process default, and tears it down asserting the acceptance bar:
+a closed pool leaves ``/dev/shm`` spotless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pool import WorkerPool, set_default_pool
+from repro.pool.shm import shm_dir_segments
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(max_workers=5)
+    prev = set_default_pool(p)
+    try:
+        yield p
+    finally:
+        set_default_pool(prev)
+        p.close()
+        assert shm_dir_segments(p.name) == []

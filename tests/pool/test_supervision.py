@@ -1,0 +1,165 @@
+"""Crash recovery, hang handling, and idle shrink.
+
+A SIGKILLed worker may die holding shared queue locks, so recovery is
+always the pool-wide reset: every queue is rebuilt, orphan segments are
+swept, and the run is retried on fresh workers.  These tests kill
+workers at every stage -- idle, mid-SPMD-run, mid-all_pairs -- and
+assert the pool comes back with byte-identical results and a clean
+``/dev/shm``.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.distance import all_pairs
+from repro.distance.estimators import DistanceEstimator, get_estimator
+from repro.pool import PoolBackend, WorkerCrashError, WorkerPool
+from repro.pool.shm import shm_dir_segments
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- module-level programs (dispatch always pickles) ------------------------
+
+
+def _ring(comm):
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    comm.send(comm.rank, nxt, tag=1)
+    return comm.recv(prv, tag=1)
+
+
+def _kill_rank_one_once(comm, sentinel):
+    """Rank 1 SIGKILLs itself the first time through (then completes)."""
+    if comm.rank == 1 and not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _ring(comm)
+
+
+def _kill_rank_zero_always(comm):
+    if comm.rank == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _ring(comm)
+
+
+class KillerEstimator(DistanceEstimator):
+    """ktuple distances, except the first worker to compute a tile dies."""
+
+    name = "killer-test"
+
+    def __init__(self, sentinel):
+        self.sentinel = sentinel
+        self.inner = get_estimator("ktuple")
+
+    def prepare(self, seqs):
+        return self.inner.prepare(seqs)
+
+    def pair_distances(self, seqs, ii, jj, state):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.pair_distances(seqs, ii, jj, state)
+
+
+class TestIdleCrashRespawn:
+    def test_killed_idle_worker_is_respawned(self, pool):
+        pool.warm_up(3)
+        victim = pool.stats()["worker_pids"][0]
+        before = pool.stats()["respawns"]
+        os.kill(victim, signal.SIGKILL)
+        # The supervisor notices within a few heartbeats and resets.
+        assert _wait_until(lambda: pool.stats()["respawns"] > before)
+        res = pool.run_spmd(3, _ring)
+        assert res.results == [(r - 1) % 3 for r in range(3)]
+        assert victim not in pool.stats()["worker_pids"]
+
+
+class TestMidRunCrash:
+    def test_pool_raises_worker_crash_error(self, pool):
+        with pytest.raises(WorkerCrashError):
+            pool.run_spmd(3, _kill_rank_zero_always)
+        # The reset leaves a healthy pool behind.
+        assert pool.run_spmd(3, _ring).results == [2, 0, 1]
+        assert shm_dir_segments(pool.name) == []
+
+    def test_backend_retries_to_success(self, pool, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        before = pool.stats()["respawns"]
+        res = PoolBackend(pool=pool).run(
+            3, _kill_rank_one_once, args=(sentinel,)
+        )
+        assert res.results == [(r - 1) % 3 for r in range(3)]
+        assert res.backend == "pool"
+        assert os.path.exists(sentinel)
+        assert pool.stats()["respawns"] > before
+
+    def test_backend_gives_up_after_max_retries(self, pool):
+        backend = PoolBackend(pool=pool, max_retries=0)
+        with pytest.raises(RuntimeError, match="after 1 attempts") as info:
+            backend.run(3, _kill_rank_zero_always)
+        assert isinstance(info.value.__cause__, WorkerCrashError)
+
+    def test_crash_mid_all_pairs_still_byte_identical(
+        self, pool, tmp_path, diverse_family
+    ):
+        seqs = list(diverse_family.sequences)[:16]
+        serial = all_pairs(seqs, "ktuple")
+        killer = KillerEstimator(str(tmp_path / "tile-crash"))
+        before = pool.stats()["respawns"]
+        pooled = all_pairs(seqs, killer, backend="pool", workers=4)
+        assert np.array_equal(serial, pooled)
+        assert os.path.exists(killer.sentinel)  # the crash really happened
+        assert pool.stats()["respawns"] > before
+        assert shm_dir_segments(pool.name) == []
+
+
+class TestHungWorker:
+    def test_stopped_worker_is_recycled(self):
+        # Short heartbeats so the ~5 s hang floor dominates the test time.
+        with WorkerPool(max_workers=2, heartbeat_interval=0.1) as own:
+            own.warm_up()
+            victim = own.stats()["worker_pids"][0]
+            os.kill(victim, signal.SIGSTOP)
+            try:
+                assert _wait_until(
+                    lambda: own.stats()["respawns"] > 0, timeout=20.0
+                )
+            finally:  # unstick it regardless, or close() would SIGKILL
+                try:
+                    os.kill(victim, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert own.run_spmd(2, _ring).results == [1, 0]
+
+
+class TestIdleShrink:
+    def test_shrinks_to_floor_and_regrows_on_demand(self):
+        own = WorkerPool(
+            max_workers=3, min_workers=1,
+            idle_timeout=0.3, heartbeat_interval=0.1,
+        )
+        try:
+            own.warm_up()
+            assert own.stats()["workers_alive"] == 3
+            assert _wait_until(
+                lambda: own.stats()["workers_alive"] == 1, timeout=10.0
+            )
+            # The next dispatch regrows transparently.
+            assert own.run_spmd(3, _ring).results == [2, 0, 1]
+        finally:
+            own.close()
+        assert shm_dir_segments(own.name) == []
