@@ -46,6 +46,11 @@ the paper depends on:
   disk-backed content-addressed :class:`~repro.serve.store.ResultStore`,
   an HTTP frontend, and a seeded open/closed-loop traffic generator
   (``python -m repro serve`` / ``python -m repro loadtest``).
+- :mod:`repro.obs` -- observability: mergeable metrics (counters, gauges,
+  log-bucketed histograms) whose picklable snapshots ride back from every
+  execution backend, cross-process spans with per-stage duration
+  breakdowns and Chrome-trace export, and Prometheus text exposition
+  (``GET /metrics?format=prom``, ``python -m repro trace``).
 
 Quickstart::
 
@@ -110,7 +115,12 @@ _LAZY = {
     # the unified alignment facade, importing from it gives the kernels.
     "align": ("repro.align", None),
     "available_engines": ("repro.engine.registry", "available_engines"),
+    "disable_tracing": ("repro.obs.tracing", "disable_tracing"),
+    "enable_tracing": ("repro.obs.tracing", "enable_tracing"),
     "get_engine": ("repro.engine.registry", "get_engine"),
+    "metrics_registry": ("repro.obs.metrics", "registry"),
+    "span": ("repro.obs.tracing", "span"),
+    "stage_breakdown": ("repro.obs.tracing", "stage_breakdown"),
     "register_engine": ("repro.engine.registry", "register_engine"),
     "sample_align_d": ("repro.core.driver", "sample_align_d"),
     "unregister_engine": ("repro.engine.registry", "unregister_engine"),
@@ -144,6 +154,13 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         unregister_engine,
     )
     from repro.engine.service import AlignmentService
+    from repro.obs.metrics import registry as metrics_registry
+    from repro.obs.tracing import (
+        disable_tracing,
+        enable_tracing,
+        span,
+        stage_breakdown,
+    )
     from repro.seq.alignment import Alignment
     from repro.seq.sequence import Sequence, SequenceSet
     from repro.serve.gateway import AlignmentGateway

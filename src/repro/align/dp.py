@@ -38,10 +38,19 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import registry as _obs_registry
+
 __all__ = ["AffineDPResult", "affine_align", "affine_score", "NEG"]
 
 #: Effectively minus infinity for the DP (finite so arithmetic stays clean).
 NEG = -1.0e30
+
+# Kernel call/cell counters, resolved once: the DP is the system's hot
+# path, so per-call cost must stay at two lock-guarded integer adds.
+_ALIGN_CALLS = _obs_registry().counter("dp.align_calls")
+_ALIGN_CELLS = _obs_registry().counter("dp.align_cells")
+_SCORE_CALLS = _obs_registry().counter("dp.score_calls")
+_SCORE_CELLS = _obs_registry().counter("dp.score_cells")
 
 
 @dataclass
@@ -194,6 +203,8 @@ def affine_score(
     """
     S = np.ascontiguousarray(S, dtype=np.float64)
     m, n = S.shape
+    _SCORE_CALLS.inc()
+    _SCORE_CELLS.inc(m * n)
     open_x = _as_vec(gap_open, m, "gap_open")
     ext_x = _as_vec(gap_extend, m, "gap_extend")
     open_y = _as_vec(gap_open if gap_open_y is None else gap_open_y, n, "gap_open_y")
@@ -239,6 +250,8 @@ def affine_align(
     """
     S = np.ascontiguousarray(S, dtype=np.float64)
     m, n = S.shape
+    _ALIGN_CALLS.inc()
+    _ALIGN_CELLS.inc(m * n)
     open_x = _as_vec(gap_open, m, "gap_open")
     ext_x = _as_vec(gap_extend, m, "gap_extend")
     open_y = _as_vec(gap_open if gap_open_y is None else gap_open_y, n, "gap_open_y")

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.align.dp import AffineDPResult, affine_align, affine_score
 from repro.align.profile import Profile, merge_profiles
+from repro.obs.tracing import span
 from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
 
 __all__ = ["ProfileAlignConfig", "profile_score_matrix", "align_profiles", "score_profiles"]
@@ -107,18 +108,19 @@ def align_profiles(
 ) -> tuple[Profile, AffineDPResult]:
     """Optimally align two profiles; returns the merged profile + DP result."""
     config = config or ProfileAlignConfig()
-    S = profile_score_matrix(px, py, config)
-    open_x, ext_x = config.gap_vectors(px)
-    open_y, ext_y = config.gap_vectors(py)
-    res = affine_align(
-        S,
-        open_x,
-        ext_x,
-        gap_open_y=open_y,
-        gap_extend_y=ext_y,
-        terminal_factor=config.gaps.terminal_factor,
-    )
-    return merge_profiles(px, py, res.x_map, res.y_map), res
+    with span("dp.profile_align", x_cols=px.n_columns, y_cols=py.n_columns):
+        S = profile_score_matrix(px, py, config)
+        open_x, ext_x = config.gap_vectors(px)
+        open_y, ext_y = config.gap_vectors(py)
+        res = affine_align(
+            S,
+            open_x,
+            ext_x,
+            gap_open_y=open_y,
+            gap_extend_y=ext_y,
+            terminal_factor=config.gaps.terminal_factor,
+        )
+        return merge_profiles(px, py, res.x_map, res.y_map), res
 
 
 def score_profiles(

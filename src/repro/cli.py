@@ -37,7 +37,13 @@ Commands
               cores, ``--backend pool`` keeps a warm worker pool alive
               across requests).
 ``loadtest``  Drive an in-process gateway with seeded synthetic traffic
-              and report throughput/latency/hit-rates.
+              and report throughput/latency/hit-rates
+              (``--trace-out FILE`` also records spans and writes a
+              Chrome trace of the whole run).
+``trace``     Run one alignment through a real gateway with tracing
+              enabled: writes a Perfetto-loadable Chrome trace (spans
+              covering gateway -> service -> distance -> tree -> merge
+              -> backend dispatch) and prints the per-stage breakdown.
 """
 
 from __future__ import annotations
@@ -457,12 +463,77 @@ def build_parser() -> argparse.ArgumentParser:
         "those requests ('threads', 'processes' or 'pool')",
     )
     p_load.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable tracing for the run and write every recorded span "
+        "as Chrome trace-event JSON to FILE (load at ui.perfetto.dev); "
+        "the report additionally gains a stage_breakdown section",
+    )
+    p_load.add_argument(
         "--json",
         nargs="?",
         const="-",
         default=None,
         metavar="FILE",
         help="emit the full report as JSON (to FILE, or stdout when no FILE)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one alignment end to end (Chrome trace + per-stage "
+        "breakdown)",
+    )
+    p_trace.add_argument(
+        "input",
+        nargs="?",
+        help="FASTA file of ungapped sequences (default: a small seeded "
+        "synthetic family)",
+    )
+    p_trace.add_argument(
+        "--engine",
+        default="clustalw",
+        help="engine from the unified registry (default clustalw -- a "
+        "guide-tree engine, so the distance/tree/merge stages all appear)",
+    )
+    p_trace.add_argument(
+        "-p", "--procs", type=int, default=4, help="virtual processors"
+    )
+    p_trace.add_argument(
+        "--distance-backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the all-pairs distance stage "
+        "('threads', 'processes' or 'pool'); adds <stage>.dispatch/.rank "
+        "spans to the trace",
+    )
+    p_trace.add_argument(
+        "--tree-backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the DAG-scheduled progressive merge",
+    )
+    p_trace.add_argument(
+        "-n", "--n-sequences", type=int, default=12,
+        help="synthetic family size (no-input mode)",
+    )
+    p_trace.add_argument(
+        "-l", "--mean-length", type=int, default=60,
+        help="synthetic family mean length (no-input mode)",
+    )
+    p_trace.add_argument("-s", "--seed", type=int, default=0)
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json", metavar="FILE",
+        help="Chrome trace-event JSON output (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the stage breakdown (and options) as JSON "
+        "(to FILE, or stdout when no FILE)",
     )
     return parser
 
@@ -1167,10 +1238,29 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace_out:
+        from repro.obs.tracing import (
+            disable_tracing,
+            drain_spans,
+            enable_tracing,
+            write_chrome_trace,
+        )
+
+        drain_spans()  # start the run from a clean process-wide buffer
+        enable_tracing()
     try:
         report = run_workload(gateway, config)
     finally:
         gateway.close()
+        if args.trace_out:
+            disable_tracing()
+            trace_records = drain_spans()
+            write_chrome_trace(args.trace_out, trace_records)
+            print(
+                f"trace: {len(trace_records)} spans written to "
+                f"{args.trace_out}",
+                file=sys.stderr,
+            )
 
     reqs = report["requests"]
     if args.json == "-":
@@ -1200,9 +1290,108 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"result cache: {svc['served']} served, {svc['computed']} computed, "
         f"{svc['evictions']} evicted"
     )
+    if args.trace_out and report.get("stage_breakdown"):
+        print("stage breakdown:")
+        _print_stage_table(report["stage_breakdown"], indent=1)
     if args.json is not None:
         _emit_json(report, args.json)
     return 0 if reqs["errors"] == 0 else 1
+
+
+def _print_stage_table(nodes, indent: int = 0, file=None) -> None:
+    """Render a :func:`repro.obs.tracing.stage_breakdown` tree."""
+    for node in nodes:
+        pad = "  " * indent
+        print(
+            f"{pad}{node['stage']:<{max(30 - len(pad), 1)}} "
+            f"x{node['count']:<5} {node['total_s'] * 1000:9.2f}ms",
+            file=file or sys.stdout,
+        )
+        _print_stage_table(node.get("children", []), indent + 1, file=file)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine import AlignRequest, get_engine
+    from repro.obs.tracing import (
+        disable_tracing,
+        drain_spans,
+        enable_tracing,
+        stage_breakdown,
+        write_chrome_trace,
+    )
+    from repro.serve import AlignmentGateway
+
+    if args.input:
+        from repro.seq.fasta import read_fasta
+
+        seqs = list(read_fasta(args.input))
+    else:
+        from repro.datagen.rose import generate_family
+
+        fam = generate_family(
+            n_sequences=args.n_sequences,
+            mean_length=args.mean_length,
+            seed=args.seed,
+            track_alignment=False,
+        )
+        seqs = list(fam.sequences)
+    engine_kwargs = {
+        opt: value
+        for opt, value in (
+            ("distance_backend", args.distance_backend),
+            ("tree_backend", args.tree_backend),
+        )
+        if value is not None
+    }
+    try:
+        # Fail fast on unknown engines / options the engine cannot take.
+        get_engine(args.engine, **engine_kwargs)
+        request = AlignRequest(
+            sequences=tuple(seqs),
+            engine=args.engine,
+            n_procs=args.procs,
+            seed=args.seed,
+            engine_kwargs=engine_kwargs,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+
+    # Through a real gateway, so the trace covers admission and the
+    # dispatcher threads -- the same span tree a served request records.
+    drain_spans()  # start from a clean process-wide buffer
+    enable_tracing()
+    gateway = AlignmentGateway(n_workers=1)
+    try:
+        ticket = gateway.submit(request, client_id="trace")
+        result = ticket.wait()
+    finally:
+        gateway.close()
+        disable_tracing()
+    records = drain_spans()
+    write_chrome_trace(args.output, records)
+    breakdown = stage_breakdown(records)
+
+    payload = {
+        "input": args.input,
+        "engine": args.engine,
+        "n_sequences": len(seqs),
+        "wall_time_s": result.wall_time,
+        "n_spans": len(records),
+        "trace_file": args.output,
+        "stage_breakdown": breakdown,
+    }
+    if args.json is not None:
+        _emit_json(payload, args.json, dash_stream=sys.stdout)
+        return 0
+    print(
+        f"{args.engine}: N={len(seqs)} wall={result.wall_time:.3f}s "
+        f"({len(records)} spans)"
+    )
+    _print_stage_table(breakdown)
+    print(f"chrome trace written to {args.output} (load at ui.perfetto.dev)")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1220,6 +1409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,7 @@ from typing import Any, List, Optional, Sequence as TSequence, Tuple, Union
 import numpy as np
 
 from repro.distance.estimators import DistanceEstimator, get_estimator
+from repro.obs.tracing import span
 from repro.seq.sequence import Sequence
 
 __all__ = ["DEFAULT_TILE_PAIRS", "all_pairs", "condensed_pair_indices"]
@@ -86,10 +87,11 @@ def _compute_tiles(
     jj: np.ndarray,
     state: Any,
 ) -> List[Tuple[int, np.ndarray]]:
-    return [
-        (a, estimator.pair_distances(seqs, ii[a:b], jj[a:b], state))
-        for a, b in bounds
-    ]
+    out = []
+    for a, b in bounds:
+        with span("distance.tile", start=a, pairs=b - a):
+            out.append((a, estimator.pair_distances(seqs, ii[a:b], jj[a:b], state)))
+    return out
 
 
 def _merge(
@@ -174,39 +176,51 @@ def all_pairs(
     n = len(seqs)
     ii, jj = condensed_pair_indices(n)
     n_pairs = len(ii)
+    est_name = getattr(est, "name", type(est).__name__)
 
     if comm is not None:
         if backend is not None or workers not in (None, 1):
             raise ValueError(
                 "cooperative mode (comm=...) excludes backend=/workers="
             )
-        bounds = _tile_bounds(n_pairs, tile_pairs, comm.size)
-        state = est.prepare(seqs)
-        mine = _compute_tiles(
-            seqs, est, bounds[comm.rank :: comm.size], ii, jj, state
-        )
-        parts = [part for rank_parts in comm.allgather(mine)
-                 for part in rank_parts]
-        return _merge(n, ii, jj, parts)
+        with span(
+            "distance.all_pairs", n=n, estimator=est_name, mode="cooperative"
+        ):
+            bounds = _tile_bounds(n_pairs, tile_pairs, comm.size)
+            state = est.prepare(seqs)
+            mine = _compute_tiles(
+                seqs, est, bounds[comm.rank :: comm.size], ii, jj, state
+            )
+            parts = [part for rank_parts in comm.allgather(mine)
+                     for part in rank_parts]
+            return _merge(n, ii, jj, parts)
 
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     if backend is None and workers in (None, 1):
-        state = est.prepare(seqs)
-        bounds = _tile_bounds(n_pairs, tile_pairs, 1)
-        return _merge(
-            n, ii, jj, _compute_tiles(seqs, est, bounds, ii, jj, state)
-        )
+        with span(
+            "distance.all_pairs", n=n, estimator=est_name, mode="serial"
+        ):
+            state = est.prepare(seqs)
+            bounds = _tile_bounds(n_pairs, tile_pairs, 1)
+            return _merge(
+                n, ii, jj, _compute_tiles(seqs, est, bounds, ii, jj, state)
+            )
 
-    from repro.parcomp.backends import get_backend
+    from repro.obs.propagate import run_traced
 
     n_workers = workers if workers is not None else (os.cpu_count() or 1)
     n_workers = max(1, min(n_workers, n_pairs))
-    spmd = get_backend(backend).run(
-        n_workers,
-        _all_pairs_rank,
-        args=(seqs, est, tile_pairs),
-        cost_model=cost_model,
-    )
-    parts = [part for rank_parts in spmd.results for part in rank_parts]
-    return _merge(n, ii, jj, parts)
+    with span(
+        "distance.all_pairs", n=n, estimator=est_name, mode="backend"
+    ):
+        spmd = run_traced(
+            backend,
+            n_workers,
+            _all_pairs_rank,
+            stage="distance",
+            args=(seqs, est, tile_pairs),
+            cost_model=cost_model,
+        )
+        parts = [part for rank_parts in spmd.results for part in rank_parts]
+        return _merge(n, ii, jj, parts)

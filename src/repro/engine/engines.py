@@ -20,6 +20,7 @@ import time
 from typing import Any, Dict
 
 from repro.engine.api import AlignRequest, AlignResult
+from repro.obs.tracing import span
 
 __all__ = [
     "SequentialEngine",
@@ -52,12 +53,15 @@ class SequentialEngine:
 
     def run(self, request: AlignRequest) -> AlignResult:
         t0 = time.perf_counter()
-        alignment = self.aligner.align(request.sequence_set())
+        with span("engine.align", engine=self.name):
+            alignment = self.aligner.align(request.sequence_set())
         wall = time.perf_counter() - t0
+        with span("engine.score", engine=self.name):
+            sp = _sp(alignment, request)
         return AlignResult(
             alignment=alignment,
             engine=self.name,
-            sp=_sp(alignment, request),
+            sp=sp,
             wall_time=wall,
             n_procs=1,
             request_hash=request.content_hash(),
@@ -108,14 +112,15 @@ class SampleAlignDEngine:
         backend = self.backend
         if request.config is not None and request.config.backend is not None:
             backend = request.config.backend
-        result = sample_align_d(
-            request.sequence_set(),
-            n_procs=request.n_procs,
-            config=request.config,
-            cost_model=self.cost_model,
-            seed=request.seed,
-            backend=backend,
-        )
+        with span("engine.align", engine=self.name, backend=str(backend)):
+            result = sample_align_d(
+                request.sequence_set(),
+                n_procs=request.n_procs,
+                config=request.config,
+                cost_model=self.cost_model,
+                seed=request.seed,
+                backend=backend,
+            )
         diagnostics: Dict[str, Any] = {
             "modeled_time": result.modeled_time,
             "comm_bytes": int(result.ledger.total_bytes()),
@@ -153,16 +158,19 @@ class ParallelBaselineEngine:
 
     def run(self, request: AlignRequest) -> AlignResult:
         t0 = time.perf_counter()
-        result = self.baseline.align(
-            request.sequence_set(),
-            n_procs=request.n_procs,
-            cost_model=self.cost_model,
-        )
+        with span("engine.align", engine=self.name):
+            result = self.baseline.align(
+                request.sequence_set(),
+                n_procs=request.n_procs,
+                cost_model=self.cost_model,
+            )
         wall = time.perf_counter() - t0
+        with span("engine.score", engine=self.name):
+            sp = _sp(result.alignment, request)
         return AlignResult(
             alignment=result.alignment,
             engine=self.name,
-            sp=_sp(result.alignment, request),
+            sp=sp,
             wall_time=wall,
             n_procs=result.n_procs,
             request_hash=request.content_hash(),

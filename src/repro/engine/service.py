@@ -42,6 +42,7 @@ from typing import (
 
 from repro.engine.api import AlignRequest, AlignResult
 from repro.engine.registry import get_engine
+from repro.obs.tracing import collect, span, stage_breakdown, tracing_enabled
 
 __all__ = [
     "AlignJob",
@@ -388,7 +389,24 @@ class AlignmentService:
     def _execute(self, request: AlignRequest, key: str) -> AlignResult:
         try:
             engine = get_engine(request.engine, **request.engine_kwargs)
-            result = engine.run(request)
+            if tracing_enabled():
+                # Collect this job's spans in a per-thread buffer (teeing
+                # into the process-wide one) and attach the folded
+                # per-stage breakdown to the result -- it is a property
+                # of the computation, so it is cached with it.
+                with collect() as trace_buf, span(
+                    "service.execute",
+                    engine=request.engine,
+                    n_seqs=len(request.sequences),
+                    request_hash=key[:12],
+                ):
+                    result = engine.run(request)
+                result.diagnostics = {
+                    **result.diagnostics,
+                    "stage_breakdown": stage_breakdown(trace_buf.records()),
+                }
+            else:
+                result = engine.run(request)
             if self._cache is not None:
                 # Outside the lock (thread-safe backend, possibly disk
                 # I/O) and never fatal: a cache that cannot store costs

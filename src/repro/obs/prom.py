@@ -1,0 +1,152 @@
+"""Prometheus text exposition (format 0.0.4) for obs snapshots.
+
+Renders a :class:`~repro.obs.metrics.MetricsSnapshot` -- plus the
+gateway's existing nested ``metrics()`` dict -- as the plain-text
+format Prometheus scrapes.  The two sharp edges the spec actually
+enforces are handled here and covered by tests:
+
+- metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; anything else
+  (dots in our internal names, dashes in engine names) is mapped to
+  ``_``;
+- label *values* may contain anything but must escape backslash,
+  double-quote, and newline as ``\\\\``, ``\\"``, ``\\n``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import (
+    CounterSnapshot,
+    GaugeSnapshot,
+    HistogramSnapshot,
+    MetricsSnapshot,
+)
+
+__all__ = [
+    "PROM_CONTENT_TYPE",
+    "escape_label_value",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: The content type Prometheus expects for text format 0.0.4.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_NAME_BAD_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into a legal Prometheus name."""
+    if _NAME_OK.match(name):
+        return name
+    out = _NAME_BAD_CHAR.sub("_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: Any) -> str:
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if not v.is_integer() else str(int(v))
+
+
+def _line(name: str, labels: Mapping[str, str], value: Any) -> str:
+    if labels:
+        body = ",".join(
+            f'{sanitize_metric_name(k)}="{escape_label_value(str(v))}"'
+            for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_fmt_value(value)}"
+    return f"{name} {_fmt_value(value)}"
+
+
+_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def _render_one(
+    name: str, snap: Any, labels: Mapping[str, str], lines: List[str]
+) -> None:
+    pname = sanitize_metric_name(name)
+    if isinstance(snap, CounterSnapshot):
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(_line(pname, labels, snap.value))
+    elif isinstance(snap, GaugeSnapshot):
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(_line(pname, labels, snap.value))
+    elif isinstance(snap, HistogramSnapshot):
+        lines.append(f"# TYPE {pname} summary")
+        for q in _QUANTILES:
+            val = snap.quantile(q)
+            if val is not None:
+                lines.append(_line(pname, {**labels, "quantile": str(q)}, val))
+        lines.append(_line(f"{pname}_sum", labels, snap.total))
+        lines.append(_line(f"{pname}_count", labels, snap.count))
+    else:
+        raise TypeError(f"cannot render {type(snap).__name__} for {name!r}")
+
+
+def _render_plain(
+    prefix: str, value: Any, labels: Mapping[str, str], lines: List[str]
+) -> None:
+    """Flatten a nested stats dict (the gateway ``metrics()`` shape).
+
+    Numbers become gauges; booleans become 0/1 gauges; strings become an
+    info-style line ``<name>_info{<leaf>="<value>"} 1`` (which is what
+    exercises label-value escaping); nested dicts recurse with the key
+    joined by ``_``; lists are skipped.
+    """
+    if isinstance(value, bool):
+        lines.append(f"# TYPE {prefix} gauge")
+        lines.append(_line(prefix, labels, int(value)))
+    elif isinstance(value, (int, float)):
+        lines.append(f"# TYPE {prefix} gauge")
+        lines.append(_line(prefix, labels, value))
+    elif isinstance(value, str):
+        leaf = prefix.rsplit("_", 1)[-1] or "value"
+        lines.append(_line(f"{prefix}_info", {**labels, leaf: value}, 1))
+    elif isinstance(value, Mapping):
+        for key in sorted(value, key=str):
+            _render_plain(
+                sanitize_metric_name(f"{prefix}_{key}"), value[key], labels, lines
+            )
+    # lists/None/other: no stable exposition -- skip.
+
+
+def render_prometheus(
+    snapshot: Optional[MetricsSnapshot] = None,
+    *,
+    extra: Optional[Mapping[str, Any]] = None,
+    prefix: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a snapshot (and/or a nested plain-stats dict) as text 0.0.4.
+
+    ``extra`` takes a nested dict like the gateway's ``metrics()`` and
+    flattens it; ``snapshot`` renders typed obs metrics with proper
+    TYPE headers and quantile series.  Returns a string ending in a
+    newline, ready to serve with :data:`PROM_CONTENT_TYPE`.
+    """
+    labels = dict(labels or {})
+    lines: List[str] = []
+    if snapshot is not None:
+        for name, snap in sorted(snapshot.metrics.items()):
+            _render_one(sanitize_metric_name(f"{prefix}_{name}"), snap, labels, lines)
+    if extra:
+        for key in sorted(extra, key=str):
+            _render_plain(
+                sanitize_metric_name(f"{prefix}_{key}"), extra[key], labels, lines
+            )
+    return "\n".join(lines) + "\n" if lines else ""

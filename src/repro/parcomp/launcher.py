@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence as TSequence, Union
 
-from repro.parcomp.backends import ExecutionBackend, SpmdResult, get_backend
+from repro.obs.propagate import run_traced
+from repro.parcomp.backends import ExecutionBackend, SpmdResult
 from repro.parcomp.cost import CostModel
 
 __all__ = ["SpmdResult", "run_spmd"]
@@ -54,9 +55,13 @@ def run_spmd(
     :class:`SpmdResult` with per-rank return values (rank order) and the
     byte/clock ledger; ``result.backend`` names the backend that ran it.
     """
-    return get_backend(backend).run(
+    # run_traced is get_backend(backend).run(...) plus span/metrics
+    # propagation when tracing is on (one flag check when it is off).
+    return run_traced(
+        backend,
         n_ranks,
         fn,
+        stage="spmd",
         args=args,
         rank_args=rank_args,
         cost_model=cost_model,

@@ -33,6 +33,7 @@ import os
 import threading
 from typing import Any, Callable, Optional, Sequence
 
+from repro.obs.tracing import span, tracing_enabled
 from repro.parcomp.backends import ExecutionBackend, ProcessBackend, SpmdResult
 from repro.parcomp.cost import CostModel
 from repro.pool.workers import WorkerCrashError, WorkerPool
@@ -96,9 +97,23 @@ class PoolBackend(ExecutionBackend):
         last_crash: Optional[WorkerCrashError] = None
         for _attempt in range(self.max_retries + 1):
             try:
-                return pool.run_spmd(
-                    n_ranks, fn, args, rank_args, cost_model, **kwargs
-                )
+                with span(
+                    "pool.dispatch", ranks=n_ranks, attempt=_attempt
+                ) as dispatch_span:
+                    result = pool.run_spmd(
+                        n_ranks, fn, args, rank_args, cost_model, **kwargs
+                    )
+                    if tracing_enabled():
+                        # stats() scans /dev/shm -- only pay for it when
+                        # someone is looking at the trace.
+                        transport = pool.stats().get("transport", {})
+                        dispatch_span.set(
+                            shm_msgs=transport.get("shm_msgs"),
+                            shm_bytes=transport.get("shm_bytes"),
+                            pickle_msgs=transport.get("pickle_msgs"),
+                            pickle_bytes=transport.get("pickle_bytes"),
+                        )
+                    return result
             except WorkerCrashError as exc:
                 last_crash = exc
         raise RuntimeError(

@@ -29,17 +29,19 @@ percentiles, and the service/cache-backend stats underneath.
 from __future__ import annotations
 
 import itertools
-import math
 import queue
 import threading
 import time
 import uuid
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence as TSequence
 
 from repro.engine.api import AlignRequest, AlignResult
 from repro.engine.service import AlignmentService
+from repro.obs.metrics import Histogram, HistogramSnapshot
+from repro.obs.metrics import percentile as _obs_percentile
+from repro.obs.tracing import span
 
 __all__ = [
     "AlignmentGateway",
@@ -93,13 +95,14 @@ class TokenBucket:
 
 
 def percentile(sorted_values: TSequence[float], q: float) -> Optional[float]:
-    """Nearest-rank percentile of an ascending sequence (None if empty)."""
-    if not sorted_values:
-        return None
-    if not 0.0 <= q <= 1.0:
-        raise ValueError("q must be in [0, 1]")
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(len(sorted_values) - 1, rank - 1)]
+    """Nearest-rank percentile of an ascending sequence (None if empty).
+
+    Kept for API compatibility; the one implementation now lives in
+    :func:`repro.obs.metrics.percentile` (the gateway's own latency
+    percentiles come from a bounded obs histogram instead of an exact
+    window).
+    """
+    return _obs_percentile(sorted_values, q)
 
 
 class _Entry:
@@ -356,7 +359,13 @@ class AlignmentGateway:
         # not the server memory.)
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._max_buckets = max(max_tickets, 1024)
-        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        # Request latencies go into a bounded log-bucketed histogram:
+        # O(1) per observation and O(buckets) per snapshot, versus the
+        # old deque that was sorted in full on every metrics() call and
+        # forgot everything older than latency_window requests.  The
+        # parameter is kept for API compatibility but no longer bounds
+        # what the percentiles see.
+        self._latencies = Histogram()
         self._counters = {
             "admitted": 0,
             "coalesced": 0,
@@ -458,7 +467,9 @@ class AlignmentGateway:
             ) from None
         request = self._effective_request(request)
         key = request.content_hash()
-        with self._lock:
+        with span(
+            "gateway.admit", client_id=client_id, priority=priority
+        ) as admit_span, self._lock:
             if self._closed:
                 raise RuntimeError("gateway is closed")
             entry = self._inflight.get(key)
@@ -494,6 +505,7 @@ class AlignmentGateway:
                 self._counters["admitted"] += 1
             else:
                 self._counters["coalesced"] += 1
+            admit_span.set(coalesced=coalesced, request_hash=key[:12])
             ticket = Ticket(
                 ticket_id=uuid.uuid4().hex[:16],
                 client_id=client_id,
@@ -600,15 +612,20 @@ class AlignmentGateway:
                 self._queue.task_done()
                 return
             try:
-                entry.result = self._service.run(entry.request)
+                with span(
+                    "gateway.compute",
+                    request_hash=entry.key[:12],
+                    engine=entry.request.engine,
+                ):
+                    entry.result = self._service.run(entry.request)
             except BaseException as exc:
                 entry.error = exc
             finally:
                 entry.completed = time.monotonic()
                 latency = entry.completed - entry.enqueued
+                self._latencies.observe(latency)
                 with self._lock:
                     self._inflight.pop(entry.key, None)
-                    self._latencies.append(latency)
                     if entry.error is None:
                         self._counters["completed"] += 1
                     else:
@@ -622,8 +639,8 @@ class AlignmentGateway:
         """JSON-able snapshot of the serving surface (the ``/metrics`` body)."""
         with self._lock:
             counters = dict(self._counters)
-            latencies = sorted(self._latencies)
             inflight = len(self._inflight)
+        lat = self._latencies.snapshot()
         out: Dict[str, Any] = dict(counters)
         out["queue_depth"] = self._queue.qsize()
         out["inflight"] = inflight
@@ -633,13 +650,20 @@ class AlignmentGateway:
         out["default_tree"] = self._default_tree
         out["default_tree_backend"] = self._default_tree_backend
         out["latency"] = {
-            "count": len(latencies),
-            "p50_s": percentile(latencies, 0.50),
-            "p99_s": percentile(latencies, 0.99),
-            "max_s": latencies[-1] if latencies else None,
-            "mean_s": (sum(latencies) / len(latencies)) if latencies else None,
+            "count": lat.count,
+            "p50_s": lat.quantile(0.50),
+            "p90_s": lat.quantile(0.90),
+            "p95_s": lat.quantile(0.95),
+            "p99_s": lat.quantile(0.99),
+            "max_s": lat.vmax,
+            "mean_s": lat.mean,
         }
         out["service"] = self._service.stats
         if self._pool is not None:
             out["pool"] = self._pool.stats()
         return out
+
+    def latency_snapshot(self) -> HistogramSnapshot:
+        """The mergeable request-latency histogram (for Prometheus
+        exposition and fleet-level aggregation)."""
+        return self._latencies.snapshot()

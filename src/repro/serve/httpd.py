@@ -20,7 +20,15 @@ A thin JSON-over-HTTP surface on top of
   ``default_backend`` (the ``repro serve --backend`` flag).
 - ``GET /jobs/<ticket_id>`` -- ticket status, plus the result once done.
 - ``GET /healthz`` -- liveness (``{"status": "ok"}``).
-- ``GET /metrics`` -- :meth:`AlignmentGateway.metrics` as JSON.
+- ``GET /metrics`` -- :meth:`AlignmentGateway.metrics` as JSON;
+  ``GET /metrics?format=prom`` -- the same surface (plus the process-wide
+  obs registry and the latency histogram as a quantile summary) in
+  Prometheus text format 0.0.4, served with the scrape content type.
+
+Access logging goes through the ``repro.serve.access`` logger as one
+structured line per request (method, path, status, duration_ms);
+``quiet=True`` (the default) suppresses it entirely.  Nothing falls
+through to the stdlib's raw stderr ``log_message``.
 
 Admission refusals map to the HTTP codes a load balancer expects:
 ``429`` for a rate-limited client, ``503`` (with ``Retry-After``) for a
@@ -35,11 +43,16 @@ bounded queue -- not the socket listener -- is the real admission point.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.api import AlignRequest
+from repro.obs.metrics import MetricsSnapshot, registry
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from repro.serve.gateway import (
     AlignmentGateway,
     QueueFullError,
@@ -47,6 +60,29 @@ from repro.serve.gateway import (
 )
 
 __all__ = ["GatewayHTTPServer", "create_server", "serve_in_thread"]
+
+#: One structured line per request; configure/capture like any stdlib
+#: logger.  Suppressed entirely when the server runs quiet.
+access_log = logging.getLogger("repro.serve.access")
+
+
+def _ensure_access_log_output() -> None:
+    """Make a loud server visible without app-level logging config.
+
+    ``logging.lastResort`` only passes WARNING+, so INFO access lines
+    from an unconfigured process would vanish silently -- worse than
+    the raw ``log_message`` this module replaces.  A level is set only
+    if unset and a handler only if none exists anywhere up the chain,
+    so any real logging configuration wins.
+    """
+    if access_log.level == logging.NOTSET:
+        access_log.setLevel(logging.INFO)
+    if not access_log.hasHandlers():
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(message)s")
+        )
+        access_log.addHandler(handler)
 
 #: Reject bodies over this size outright (an alignment request of
 #: reasonable size is far smaller; this bounds memory per connection).
@@ -61,6 +97,8 @@ class GatewayHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, gateway: AlignmentGateway, quiet: bool = True):
         self.gateway = gateway
         self.quiet = quiet
+        if not quiet:
+            _ensure_access_log_output()
         super().__init__(address, _Handler)
 
     @property
@@ -74,9 +112,32 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+    def handle_one_request(self) -> None:
+        # Stamped before parsing so duration_ms covers the whole request,
+        # not just the handler body.
+        self._t0 = time.perf_counter()
+        super().handle_one_request()
+
+    def log_request(self, code="-", size="-") -> None:
+        """One structured access-log line per request (never raw stderr)."""
+        if getattr(self.server, "quiet", True):
+            return
+        duration_ms = (
+            time.perf_counter() - getattr(self, "_t0", time.perf_counter())
+        ) * 1e3
+        access_log.info(
+            "method=%s path=%s status=%s duration_ms=%.2f",
+            getattr(self, "command", None) or "-",
+            getattr(self, "path", None) or "-",
+            getattr(code, "value", code),
+            duration_ms,
+        )
+
+    def log_message(self, fmt: str, *args) -> None:
+        # log_error and any other stdlib fall-throughs land here: route
+        # them to the structured logger instead of bare stderr.
         if not getattr(self.server, "quiet", True):
-            super().log_message(fmt, *args)
+            access_log.info("%s", fmt % args)
 
     def _send_json(
         self,
@@ -107,15 +168,41 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, {"status": "ok"})
         elif path == "/metrics":
-            self._send_json(200, self.server.gateway.metrics())
+            fmt = (parse_qs(parts.query).get("format") or ["json"])[0]
+            if fmt == "prom":
+                self._send_prometheus()
+            else:
+                self._send_json(200, self.server.gateway.metrics())
         elif path.startswith("/jobs/"):
             self._get_job(path[len("/jobs/"):])
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def _send_prometheus(self) -> None:
+        """``/metrics?format=prom``: text exposition format 0.0.4."""
+        gateway = self.server.gateway
+        stats = gateway.metrics()
+        # The latency block is served as a proper quantile summary from
+        # the histogram snapshot, not as flattened point gauges.
+        stats.pop("latency", None)
+        snapshot = registry().snapshot().merge(
+            MetricsSnapshot(
+                {"gateway.latency.seconds": gateway.latency_snapshot()}
+            )
+        )
+        body = render_prometheus(
+            snapshot, extra={"gateway": stats}
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROM_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
         path = self.path.split("?", 1)[0].rstrip("/")

@@ -35,7 +35,9 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.engine.api import AlignRequest
-from repro.serve.gateway import AlignmentGateway, GatewayError, percentile
+from repro.obs.metrics import percentile
+from repro.obs.tracing import global_records, stage_breakdown, tracing_enabled
+from repro.serve.gateway import AlignmentGateway, GatewayError
 
 __all__ = ["WorkloadConfig", "build_request_pool", "mix_indices", "run_workload"]
 
@@ -269,11 +271,22 @@ def run_workload(
     errors / admission rejections / closed-loop retries), wall-clock
     throughput, client-observed latency percentiles, and the gateway's
     own :meth:`~repro.serve.gateway.AlignmentGateway.metrics` snapshot.
+    With tracing enabled, a ``stage_breakdown`` section folds the spans
+    the run produced (gateway admission, service jobs, engine stages)
+    into a nested per-stage duration tree; the spans themselves stay in
+    the process-wide buffer for whoever exports the full trace
+    (``loadtest --trace-out``).
     """
     config = config or WorkloadConfig()
     pool = pool if pool is not None else build_request_pool(config)
     if len(pool) < config.pool_size:
         raise ValueError("pool smaller than config.pool_size")
+    traced = tracing_enabled()
+    # Gateway workers record into the process-wide buffer (they are not
+    # this thread); note what was already there so the breakdown covers
+    # only this run's spans -- without draining, so the caller can still
+    # export the full trace afterwards.
+    pre_ids = {r.span_id for r in global_records()} if traced else set()
     t0 = time.monotonic()
     if config.mode == "closed":
         logs = _run_closed(gateway, pool, config)
@@ -284,7 +297,7 @@ def run_workload(
     ok = sum(log.ok for log in logs)
     metrics = gateway.metrics()
     coalesce_den = metrics["admitted"] + metrics["coalesced"]
-    return {
+    report = {
         "config": asdict(config),
         "elapsed_s": elapsed,
         "throughput_rps": ok / elapsed if elapsed > 0 else None,
@@ -298,6 +311,7 @@ def run_workload(
         "latency": {
             "count": len(latencies),
             "p50_s": percentile(latencies, 0.50),
+            "p90_s": percentile(latencies, 0.90),
             "p99_s": percentile(latencies, 0.99),
             "max_s": latencies[-1] if latencies else None,
         },
@@ -306,3 +320,8 @@ def run_workload(
         ),
         "gateway": metrics,
     }
+    if traced:
+        run_spans = [r for r in global_records() if r.span_id not in pre_ids]
+        report["stage_breakdown"] = stage_breakdown(run_spans)
+        report["trace_spans"] = len(run_spans)
+    return report

@@ -49,6 +49,7 @@ from typing import (
 import numpy as np
 
 from repro.align.guide_tree import GuideTree
+from repro.obs.tracing import span
 
 __all__ = [
     "TreeBuilder",
@@ -115,6 +116,13 @@ def _resolve_labels(
 
 
 def _agglomerate(
+    dist: np.ndarray, labels: Optional[TSequence[str]], linkage: str
+) -> GuideTree:
+    with span("tree.build", linkage=linkage, n=int(np.asarray(dist).shape[0])):
+        return _agglomerate_impl(dist, labels, linkage)
+
+
+def _agglomerate_impl(
     dist: np.ndarray, labels: Optional[TSequence[str]], linkage: str
 ) -> GuideTree:
     """Agglomerative clustering under ``average``/``weighted``/``single``
@@ -239,6 +247,14 @@ class NeighborJoiningBuilder(TreeBuilder):
     name = "nj"
 
     def build(
+        self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
+    ) -> GuideTree:
+        with span(
+            "tree.build", linkage="nj", n=int(np.asarray(dist).shape[0])
+        ):
+            return self._build(dist, labels)
+
+    def _build(
         self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
     ) -> GuideTree:
         d = check_distance_matrix(dist).copy()

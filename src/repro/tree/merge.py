@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence as TSequence
 
 from repro.align.guide_tree import GuideTree
 from repro.align.profile import Profile
+from repro.obs.tracing import span
 from repro.tree.schedule import merge_schedule
 
 __all__ = ["progressive_merge"]
@@ -86,15 +87,17 @@ def _run_levels(
     for level in levels:
         if comm is None or comm.size == 1:
             for step in level:
-                table[n + step] = merge_node(
-                    step, *_children(table, tree, step)
-                )
+                with span("tree.merge_node", step=step):
+                    table[n + step] = merge_node(
+                        step, *_children(table, tree, step)
+                    )
         else:
-            mine = {
-                step: merge_node(step, *_children(table, tree, step))
-                for pos, step in enumerate(level)
-                if pos % comm.size == comm.rank
-            }
+            mine = {}
+            for pos, step in enumerate(level):
+                if pos % comm.size != comm.rank:
+                    continue
+                with span("tree.merge_node", step=step):
+                    mine[step] = merge_node(step, *_children(table, tree, step))
             gathered = comm.allgather(
                 [(step, _pack(prof)) for step, prof in mine.items()]
             )
@@ -179,32 +182,42 @@ def progressive_merge(
             raise ValueError(
                 "cooperative mode (comm=...) excludes backend=/workers="
             )
-        schedule = merge_schedule(tree)
-        return _run_levels(comm, profiles, tree, schedule.levels, merge_node)
+        with span(
+            "tree.merge", n_leaves=tree.n_leaves, mode="cooperative"
+        ):
+            schedule = merge_schedule(tree)
+            return _run_levels(
+                comm, profiles, tree, schedule.levels, merge_node
+            )
 
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     if backend is None and workers in (None, 1):
         # The classic serial post-order walk: the merge list itself is a
         # valid topological order, so no schedule is needed.
-        n = tree.n_leaves
-        table: Dict[int, Profile] = dict(enumerate(profiles))
-        for step in range(n - 1):
-            a, b = tree.merges[step]
-            table[n + step] = merge_node(
-                step, table.pop(int(a)), table.pop(int(b))
-            )
-        return table[tree.root]
+        with span("tree.merge", n_leaves=tree.n_leaves, mode="serial"):
+            n = tree.n_leaves
+            table: Dict[int, Profile] = dict(enumerate(profiles))
+            for step in range(n - 1):
+                a, b = tree.merges[step]
+                with span("tree.merge_node", step=step):
+                    table[n + step] = merge_node(
+                        step, table.pop(int(a)), table.pop(int(b))
+                    )
+            return table[tree.root]
 
-    from repro.parcomp.backends import get_backend
+    from repro.obs.propagate import run_traced
 
     schedule = merge_schedule(tree)
     n_workers = workers if workers is not None else (os.cpu_count() or 1)
     n_workers = max(1, min(n_workers, schedule.max_width))
-    spmd = get_backend(backend).run(
-        n_workers,
-        _merge_dag_rank,
-        args=(profiles, tree, schedule.levels, merge_node),
-        cost_model=cost_model,
-    )
-    return spmd.results[0]
+    with span("tree.merge", n_leaves=tree.n_leaves, mode="backend"):
+        spmd = run_traced(
+            backend,
+            n_workers,
+            _merge_dag_rank,
+            stage="tree",
+            args=(profiles, tree, schedule.levels, merge_node),
+            cost_model=cost_model,
+        )
+        return spmd.results[0]

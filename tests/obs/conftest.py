@@ -1,0 +1,16 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import disable_tracing, drain_spans
+
+
+@pytest.fixture(autouse=True)
+def _tracing_isolation():
+    """Every obs test starts from a drained buffer and leaves tracing off."""
+    drain_spans()
+    yield
+    disable_tracing()
+    drain_spans()

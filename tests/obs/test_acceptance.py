@@ -1,0 +1,124 @@
+"""End-to-end acceptance: one traced request covers the whole pipeline.
+
+A single gateway-submitted clustalw alignment must produce a span tree
+covering gateway -> service -> engine -> distance -> tree -> merge ->
+DP, with per-stage durations that actually account for the wall clock
+(children sum to >= 90% of their parents at the top level), and an
+``AlignResult`` whose diagnostics carry the same breakdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.rose import generate_family
+from repro.engine.api import AlignRequest
+from repro.obs.tracing import (
+    drain_spans,
+    enable_tracing,
+    stage_breakdown,
+    to_chrome_trace,
+)
+from repro.serve.gateway import AlignmentGateway
+
+REQUIRED_STAGES = {
+    "gateway.admit",
+    "gateway.compute",
+    "service.execute",
+    "engine.align",
+    "distance.all_pairs",
+    "tree.build",
+    "tree.merge",
+    "tree.merge_node",
+    "dp.profile_align",
+}
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    fam = generate_family(
+        n_sequences=10, mean_length=60, seed=3, track_alignment=False
+    )
+    request = AlignRequest(
+        sequences=tuple(fam.sequences), engine="clustalw"
+    )
+    drain_spans()
+    enable_tracing()
+    gateway = AlignmentGateway(n_workers=1)
+    try:
+        ticket = gateway.submit(request, client_id="acceptance")
+        result = ticket.wait(60)
+    finally:
+        gateway.close()
+        from repro.obs.tracing import disable_tracing
+
+        disable_tracing()
+    return result, drain_spans()
+
+
+def _index(breakdown):
+    out = {}
+
+    def walk(nodes, parent):
+        for node in nodes:
+            out[node["stage"]] = (node, parent)
+            walk(node.get("children", []), node)
+
+    walk(breakdown, None)
+    return out
+
+
+class TestPipelineCoverage:
+    def test_all_stages_present(self, traced_run):
+        _, records = traced_run
+        names = {r.name for r in records}
+        assert REQUIRED_STAGES <= names, REQUIRED_STAGES - names
+
+    def test_tree_shape(self, traced_run):
+        _, records = traced_run
+        stages = _index(stage_breakdown(records))
+        # gateway.compute and service.execute are roots: the gateway's
+        # dispatcher hands the job to the service's own worker thread,
+        # and sibling root spans on one timeline is the honest topology.
+        assert stages["gateway.compute"][1] is None
+        assert stages["service.execute"][1] is None
+        assert stages["engine.align"][1]["stage"] == "service.execute"
+        assert stages["distance.all_pairs"][1]["stage"] == "engine.align"
+        assert stages["dp.profile_align"][1]["stage"] == "tree.merge_node"
+
+    def test_children_account_for_parent_time(self, traced_run):
+        _, records = traced_run
+        stages = _index(stage_breakdown(records))
+        for parent_name in ("service.execute", "engine.align"):
+            parent, _ = stages[parent_name]
+            child_total = sum(
+                c["total_s"] for c in parent.get("children", [])
+            )
+            assert child_total >= 0.9 * parent["total_s"], parent_name
+            assert child_total <= 1.1 * parent["total_s"], parent_name
+
+    def test_stage_durations_cover_the_wall_clock(self, traced_run):
+        result, records = traced_run
+        execute = [r for r in records if r.name == "service.execute"]
+        assert len(execute) == 1
+        # The engine's own wall_time must be essentially all inside the
+        # service.execute span (within 10%).
+        assert execute[0].dur >= 0.9 * result.wall_time
+
+    def test_result_diagnostics_carry_breakdown(self, traced_run):
+        result, _ = traced_run
+        breakdown = result.diagnostics.get("stage_breakdown")
+        assert breakdown, "traced service runs must attach the breakdown"
+        stages = _index(breakdown)
+        # The per-job view starts at the service (admission is outside).
+        assert "service.execute" in stages
+        assert "dp.profile_align" in stages
+
+    def test_chrome_export_is_perfetto_shaped(self, traced_run):
+        _, records = traced_run
+        doc = to_chrome_trace(records)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == len(records)
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}

@@ -1,0 +1,211 @@
+"""Metrics: counters, gauges, log-bucketed histograms and their merges.
+
+The load-bearing properties are the algebraic ones: snapshot ``merge``
+must be associative and commutative (per-rank deltas arrive in whatever
+order the backend's ledger walk produces) and must conserve bucket
+counts exactly (a merged histogram sees every observation exactly once).
+Hypothesis drives those; the rest are direct unit checks.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    percentile,
+    registry,
+)
+
+values = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=40,
+)
+
+
+def snap(vals):
+    h = Histogram()
+    for v in vals:
+        h.observe(v)
+    return h.snapshot()
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_nearest_rank(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(vals, 0.5) == 2.0
+        assert percentile(vals, 0.99) == 4.0
+        assert percentile(vals, 0.0) == 1.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        s = snap([1.0, 2.0, 4.0, 8.0])
+        assert s.count == 4
+        assert s.total == pytest.approx(15.0)
+        assert s.vmin == 1.0 and s.vmax == 8.0
+        assert s.mean == pytest.approx(3.75)
+
+    def test_quantiles_bracket_the_data(self):
+        vals = [0.001 * (i + 1) for i in range(100)]
+        s = snap(vals)
+        # Log buckets at base 1.15: any quantile is within one bucket
+        # width (15%) of the true value, and clamped to [vmin, vmax].
+        assert s.quantile(0.0) >= s.vmin
+        assert s.quantile(1.0) <= s.vmax
+        p50 = s.quantile(0.5)
+        assert 0.04 < p50 < 0.07
+
+    def test_nonpositive_goes_to_underflow(self):
+        s = snap([0.0, -1.0, 2.0])
+        assert s.underflow == 2
+        assert s.count == 3
+        assert s.quantile(0.0) == s.vmin  # underflow ranks report vmin
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram().snapshot().quantile(0.5) is None
+
+    def test_base_mismatch_raises(self):
+        a = Histogram(base=1.15).snapshot()
+        b = Histogram(base=2.0).snapshot()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_is_picklable(self):
+        s = snap([1.0, 2.0])
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+
+    @given(values, values)
+    def test_merge_commutative(self, a, b):
+        sa, sb = snap(a), snap(b)
+        ab, ba = sa.merge(sb), sb.merge(sa)
+        assert ab.buckets == ba.buckets
+        assert ab.count == ba.count
+        assert math.isclose(ab.total, ba.total, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(values, values, values)
+    def test_merge_associative(self, a, b, c):
+        sa, sb, sc = snap(a), snap(b), snap(c)
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.buckets == right.buckets
+        assert left.count == right.count
+        assert math.isclose(
+            left.total, right.total, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(values, values)
+    def test_merge_conserves_buckets(self, a, b):
+        merged = snap(a).merge(snap(b))
+        assert merged.count == len(a) + len(b)
+        assert sum(merged.buckets.values()) + merged.underflow == merged.count
+        whole = snap(a + b)
+        assert merged.buckets == whole.buckets
+        assert merged.underflow == whole.underflow
+
+
+class TestCounterGauge:
+    def test_counter_roundtrip(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot().value == 5
+
+    def test_counter_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(2), b.inc(3)
+        assert a.snapshot().merge(b.snapshot()).value == 5
+
+    def test_gauge_merge_keeps_latest(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)  # stamped later
+        sa, sb = a.snapshot(), b.snapshot()
+        assert sa.merge(sb).value == 2.0
+        assert sb.merge(sa).value == 2.0  # commutative: latest stamp wins
+
+
+class TestRegistry:
+    def test_create_or_fetch(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")  # same name, different kind
+
+    def test_snapshot_diff_counters_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(1.0)
+        before = reg.snapshot()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(2.0)
+        delta = reg.snapshot().diff(before)
+        assert delta.metrics["c"].value == 3
+        assert delta.metrics["h"].count == 1
+
+    def test_absorb_merges_foreign_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        other = MetricsRegistry()
+        other.counter("c").inc(41)
+        other.histogram("h").observe(0.5)
+        reg.absorb(other.snapshot())
+        assert reg.counter("c").value == 42
+        assert reg.histogram("h").snapshot().count == 1
+
+    def test_snapshot_merge_type_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ValueError):
+            a.snapshot().merge(b.snapshot())
+
+    def test_default_registry_is_shared(self):
+        assert registry() is registry()
+
+
+class TestSnapshotRoundtrip:
+    def test_to_dict_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        d = reg.snapshot().to_dict()
+        assert d["c"]["value"] == 7
+        assert d["g"]["value"] == 1.5
+        assert d["h"]["count"] == 1
+
+    def test_dp_counters_flow_through_default_registry(self):
+        import numpy as np
+
+        from repro.align.dp import affine_align
+
+        before = registry().snapshot()
+        S = np.zeros((3, 4))
+        affine_align(S, 1.0, 0.5)
+        delta = registry().snapshot().diff(before)
+        assert delta.metrics["dp.align_calls"].value == 1
+        assert delta.metrics["dp.align_cells"].value == 12

@@ -1,0 +1,105 @@
+"""Prometheus text exposition: names, escaping, TYPE headers, summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsSnapshot
+from repro.obs.prom import (
+    PROM_CONTENT_TYPE,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestNames:
+    def test_legal_passthrough(self):
+        assert sanitize_metric_name("repro_dp_calls") == "repro_dp_calls"
+        assert sanitize_metric_name("a:b") == "a:b"
+
+    def test_dots_and_dashes_mapped(self):
+        assert sanitize_metric_name("dp.align_calls") == "dp_align_calls"
+        assert sanitize_metric_name("center-star") == "center_star"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestEscaping:
+    def test_metacharacters(self):
+        assert escape_label_value('po"ol') == 'po\\"ol'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("x\ny") == "x\\ny"
+
+    def test_rendered_label_escapes(self):
+        text = render_prometheus(
+            extra={"engine": 'po"ol\nx\\'},
+        )
+        assert 'engine="po\\"ol\\nx\\\\"' in text
+
+
+class TestRender:
+    def test_content_type_constant(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_counter_and_gauge(self):
+        c, g = Counter(), Gauge()
+        c.inc(3)
+        g.set(1.5)
+        snap = MetricsSnapshot(
+            {"dp.calls": c.snapshot(), "queue.depth": g.snapshot()}
+        )
+        text = render_prometheus(snap)
+        assert "# TYPE repro_dp_calls counter" in text
+        assert "repro_dp_calls 3" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_as_summary(self):
+        h = Histogram()
+        for v in (0.01, 0.02, 0.04, 0.4):
+            h.observe(v)
+        text = render_prometheus(
+            MetricsSnapshot({"latency.seconds": h.snapshot()})
+        )
+        assert "# TYPE repro_latency_seconds summary" in text
+        assert 'repro_latency_seconds{quantile="0.5"}' in text
+        assert 'repro_latency_seconds{quantile="0.99"}' in text
+        assert "repro_latency_seconds_sum" in text
+        assert "repro_latency_seconds_count 4" in text
+
+    def test_extra_dict_flattens(self):
+        text = render_prometheus(
+            extra={
+                "gateway": {
+                    "admitted": 7,
+                    "closed": False,
+                    "service": {"computed": 2},
+                    "default_backend": "pool",
+                    "skipped_list": [1, 2],
+                }
+            }
+        )
+        assert "repro_gateway_admitted 7" in text
+        assert "repro_gateway_closed 0" in text
+        assert "repro_gateway_service_computed 2" in text
+        assert 'repro_gateway_default_backend_info{backend="pool"} 1' in text
+        assert "skipped_list" not in text
+
+    def test_empty_render_is_empty_string(self):
+        assert render_prometheus() == ""
+        assert render_prometheus(MetricsSnapshot({})) == ""
+
+    def test_labels_applied_to_every_line(self):
+        c = Counter()
+        c.inc()
+        text = render_prometheus(
+            MetricsSnapshot({"x": c.snapshot()}), labels={"rank": "3"}
+        )
+        assert 'repro_x{rank="3"} 1' in text
+
+    def test_unrenderable_snapshot_raises(self):
+        with pytest.raises(TypeError):
+            render_prometheus(MetricsSnapshot({"bad": object()}))

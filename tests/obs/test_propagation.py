@@ -1,0 +1,145 @@
+"""Span propagation across the execution-backend seam.
+
+The same tiled all-pairs computation must produce the same *logical*
+span tree on every backend: identical span names and attributes (modulo
+the backend's own identity and per-rank labels), identical parenting of
+``distance.rank`` under ``distance.dispatch``, identical distance
+matrices.  Threads ranks share the parent's address space, processes and
+pool ranks pickle their spans home -- the canonicalised span sets must
+not be able to tell the difference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distance import all_pairs
+from repro.obs.tracing import collect, drain_spans, enable_tracing
+from repro.seq.sequence import Sequence
+
+BACKENDS = ["threads", "processes", "pool"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pool_after_module():
+    """The pool backend warms a process-wide default pool; later suites
+    assert ``mp.active_children() == []``, so close it on the way out."""
+    yield
+    from repro.pool import close_default_pool
+
+    close_default_pool()
+
+
+@pytest.fixture(scope="module")
+def seqs():
+    rows = ["MKTAYIAKQR", "MKTAYIAKQL", "MKTAYIARQR", "MKAYIAKQRQ",
+            "MKTAYIAKQG"]
+    return [Sequence(f"s{i}", r) for i, r in enumerate(rows)]
+
+
+def canonical(records):
+    """Backend-independent view of a span set, as sorted JSON lines.
+
+    Drops per-rank identity (pids, tids, ids, timings) and the
+    dispatch/pool spans' backend-specific attributes; keeps names,
+    logical attributes, and each span's parent *name* -- which pins the
+    tree shape without depending on id values.
+    """
+    by_id = {r.span_id: r for r in records}
+    drop_attrs = {"backend", "rank", "attempt", "shm_msgs", "shm_bytes",
+                  "pickle_msgs", "pickle_bytes"}
+    lines = []
+    for r in records:
+        if r.name == "pool.dispatch":
+            continue  # the pool's extra hop under <stage>.dispatch
+        parent = by_id.get(r.parent_id)
+        attrs = {k: v for k, v in sorted(r.attrs.items())
+                 if k not in drop_attrs}
+        lines.append(json.dumps(
+            {"name": r.name, "parent": parent.name if parent else None,
+             "attrs": attrs},
+            sort_keys=True,
+        ))
+    return sorted(lines)
+
+
+def run_traced_all_pairs(seqs, backend):
+    enable_tracing()
+    drain_spans()
+    with collect(tee=False) as buf:
+        d = all_pairs(seqs, "ktuple", backend=backend, workers=2,
+                      tile_pairs=3)
+    return d, buf.records()
+
+
+class TestCrossBackendEquivalence:
+    def test_span_trees_identical_across_backends(self, seqs):
+        matrices, trees = {}, {}
+        for backend in BACKENDS:
+            d, records = run_traced_all_pairs(seqs, backend)
+            matrices[backend] = d
+            trees[backend] = canonical(records)
+        for backend in BACKENDS[1:]:
+            assert matrices[backend].tobytes() == matrices["threads"].tobytes()
+            assert trees[backend] == trees["threads"], backend
+
+    def test_rank_spans_parent_under_dispatch(self, seqs):
+        _, records = run_traced_all_pairs(seqs, "processes")
+        by_id = {r.span_id: r for r in records}
+        ranks = [r for r in records if r.name == "distance.rank"]
+        assert len(ranks) == 2
+        for r in ranks:
+            assert by_id[r.parent_id].name == "distance.dispatch"
+            assert r.pid != os.getpid()  # genuinely recorded elsewhere
+
+    def test_threads_ranks_record_in_parent_pid(self, seqs):
+        _, records = run_traced_all_pairs(seqs, "threads")
+        ranks = [r for r in records if r.name == "distance.rank"]
+        assert ranks and all(r.pid == os.getpid() for r in ranks)
+
+    def test_serial_mode_still_traces_tiles(self, seqs):
+        enable_tracing()
+        drain_spans()
+        with collect(tee=False) as buf:
+            d_serial = all_pairs(seqs, "ktuple", tile_pairs=3)
+        names = [r.name for r in buf.records()]
+        assert "distance.all_pairs" in names
+        assert "distance.tile" in names
+        assert "distance.dispatch" not in names  # no backend hop
+        d_backend, _ = run_traced_all_pairs(seqs, "threads")
+        assert d_serial.tobytes() == d_backend.tobytes()
+
+    def test_untraced_results_identical_to_traced(self, seqs):
+        from repro.obs.tracing import disable_tracing
+
+        disable_tracing()
+        d_off = all_pairs(seqs, "ktuple", backend="threads", workers=2,
+                          tile_pairs=3)
+        d_on, _ = run_traced_all_pairs(seqs, "threads")
+        assert d_off.tobytes() == d_on.tobytes()
+
+
+class TestMetricsRideHome:
+    def test_dp_counters_cross_process(self, seqs):
+        """Rank-side DP work increments the *parent's* registry.
+
+        ``full-dp`` on the processes backend runs every pair DP in
+        foreign address spaces; the per-rank metric deltas ride home
+        with the spans and are absorbed exactly once.
+        """
+        from repro.obs.metrics import registry
+
+        enable_tracing()
+        drain_spans()
+        before = registry().snapshot()
+        with collect(tee=False):
+            d = all_pairs(seqs, "full-dp", backend="processes", workers=2,
+                          tile_pairs=3)
+        assert np.all(np.isfinite(d))
+        delta = registry().snapshot().diff(before)
+        calls = delta.metrics.get("dp.align_calls")
+        assert calls is not None and calls.value >= 10  # C(5,2) pairs

@@ -176,3 +176,71 @@ class TestBackpressureCodes:
             server.server_close()
             thread.join(timeout=10)
             gateway.close()
+
+
+class TestPrometheusEndpoint:
+    def test_prom_format_and_content_type(self, server, make_request,
+                                          counting_engine):
+        _post(server, "/align", {"request": _align_body(make_request)})
+        with urllib.request.urlopen(
+            _url(server, "/metrics?format=prom"), timeout=30
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = resp.read().decode("utf-8")
+        assert "# TYPE repro_gateway_latency_seconds summary" in text
+        assert 'repro_gateway_latency_seconds{quantile="0.5"}' in text
+        assert "repro_gateway_latency_seconds_count 1" in text
+        assert "repro_gateway_admitted 1" in text
+        # The JSON latency block is replaced by the histogram summary.
+        assert "repro_gateway_latency_p50_s" not in text
+
+    def test_json_remains_the_default(self, server):
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert "latency" in body and "admitted" in body
+
+    def test_unknown_format_falls_back_to_json(self, server):
+        status, body = _get(server, "/metrics?format=yaml")
+        assert status == 200
+        assert "admitted" in body
+
+
+class TestAccessLog:
+    def test_quiet_suppresses_access_log(self, server, caplog):
+        with caplog.at_level("INFO", logger="repro.serve.access"):
+            _get(server, "/healthz")
+        assert caplog.records == []
+
+    def test_loud_mode_logs_one_structured_line(self, server, caplog):
+        server.quiet = False
+        try:
+            with caplog.at_level("INFO", logger="repro.serve.access"):
+                _get(server, "/healthz")
+        finally:
+            server.quiet = True
+        lines = [r.getMessage() for r in caplog.records]
+        assert len(lines) == 1
+        line = lines[0]
+        assert "method=GET" in line
+        assert "path=/healthz" in line
+        assert "status=200" in line
+        assert "duration_ms=" in line
+
+    def test_post_and_errors_logged_too(self, server, make_request,
+                                        counting_engine, caplog):
+        server.quiet = False
+        try:
+            with caplog.at_level("INFO", logger="repro.serve.access"):
+                _post(server, "/align",
+                      {"request": _align_body(make_request, seed=41)})
+                with pytest.raises(urllib.error.HTTPError):
+                    _get(server, "/nope")
+        finally:
+            server.quiet = True
+        lines = [r.getMessage() for r in caplog.records]
+        assert any("method=POST" in ln and "status=200" in ln
+                   for ln in lines)
+        assert any("status=404" in ln for ln in lines)

@@ -171,3 +171,56 @@ class TestStoreIntegration:
         assert counting_engine.calls == first_calls
         assert report["requests"]["errors"] == 0
         assert report["gateway"]["service"]["computed"] == 0
+
+
+class TestObservability:
+    def test_traced_report_gains_stage_breakdown(self, counting_engine):
+        from repro.obs.tracing import disable_tracing, drain_spans, enable_tracing
+
+        cfg = WorkloadConfig(
+            n_requests=8, n_clients=2, mode="closed", mix="uniform",
+            pool_size=3, engine="serve-counting", family_size=4,
+            family_length=30,
+        )
+        drain_spans()
+        enable_tracing()
+        try:
+            with AlignmentGateway(n_workers=2, max_queue=16) as gw:
+                report = run_workload(gw, cfg)
+        finally:
+            disable_tracing()
+            drain_spans()
+        assert report["trace_spans"] > 0
+        stages = {node["stage"] for node in report["stage_breakdown"]}
+        assert "gateway.compute" in stages
+        assert "service.execute" in stages
+
+    def test_untraced_report_has_no_breakdown(self, counting_engine):
+        cfg = WorkloadConfig(
+            n_requests=4, n_clients=2, mode="closed", mix="uniform",
+            pool_size=2, engine="serve-counting", family_size=4,
+            family_length=30,
+        )
+        with AlignmentGateway(n_workers=2, max_queue=16) as gw:
+            report = run_workload(gw, cfg)
+        assert "stage_breakdown" not in report
+
+    def test_client_percentiles_use_shared_helper(self, counting_engine):
+        """p50/p90/p99 in the report agree with the obs nearest-rank
+        definition (one percentile implementation in the codebase)."""
+        from repro.obs.metrics import percentile
+        from repro.serve.gateway import percentile as gw_percentile
+
+        cfg = WorkloadConfig(
+            n_requests=10, n_clients=2, mode="closed", mix="uniform",
+            pool_size=3, engine="serve-counting", family_size=4,
+            family_length=30,
+        )
+        with AlignmentGateway(n_workers=2, max_queue=16) as gw:
+            report = run_workload(gw, cfg)
+        lat = report["latency"]
+        assert lat["count"] == 10
+        assert lat["p50_s"] <= lat["p90_s"] <= lat["p99_s"] <= lat["max_s"]
+        # The gateway's public helper is a thin delegate of the same code.
+        vals = [1.0, 2.0, 3.0]
+        assert gw_percentile(vals, 0.5) == percentile(vals, 0.5)

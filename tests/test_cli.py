@@ -517,3 +517,67 @@ class TestDistanceCli:
             "distance"
         ]
         assert "kband" in payload["distance_estimators"]
+
+
+class TestTraceCli:
+    def test_trace_synthetic_family(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        report = tmp_path / "stages.json"
+        rc = main(
+            ["trace", "-n", "6", "-l", "40", "-o", str(out),
+             "--json", str(report)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"gateway.admit", "gateway.compute", "service.execute",
+                "engine.align", "distance.all_pairs", "tree.build",
+                "tree.merge", "dp.profile_align"} <= names
+        stages = json.loads(report.read_text())
+        assert stages["n_spans"] == len(doc["traceEvents"])
+        assert stages["stage_breakdown"]
+
+    def test_trace_fasta_input_text_output(self, fasta_file, tmp_path,
+                                           capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", str(fasta_file), "-o", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "service.execute" in printed
+        assert "chrome trace written to" in printed
+        assert out.exists()
+
+    def test_trace_leaves_tracing_disabled(self, tmp_path):
+        from repro.obs.tracing import tracing_enabled
+
+        assert main(["trace", "-n", "4", "-l", "30",
+                     "-o", str(tmp_path / "t.json")]) == 0
+        assert not tracing_enabled()
+
+    def test_trace_unknown_engine_clean_error(self, tmp_path, capsys):
+        rc = main(["trace", "-n", "4", "-l", "30", "--engine", "nope",
+                   "-o", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_loadtest_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "load.json"
+        rc = main(
+            ["loadtest", "--requests", "6", "--clients", "2",
+             "--pool", "2", "--workers", "2",
+             "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "spans written to" in captured.err
+        assert "stage breakdown:" in captured.out
+        doc = json.loads(trace.read_text())
+        assert any(e["name"] == "gateway.compute"
+                   for e in doc["traceEvents"])
+        from repro.obs.tracing import tracing_enabled
+
+        assert not tracing_enabled()
