@@ -14,7 +14,13 @@ proves two things:
   wall-clock on any host with >= 2 cores (a single-core host can only
   tie: processes pays fork/pickle overhead with no extra compute to
   spend it on, so the gate is core-conditional like
-  bench_backend_scaling's).
+  bench_backend_scaling's);
+- **batching** -- the batched DP kernel (``repro.align.batchdp``, on by
+  default) makes even the *serial* full-DP stage >= 3x faster than the
+  per-pair kernel (``REPRO_DP_BATCH_PAIRS=0``), measured head-to-head
+  in the same run.  On hosts comparable to the one that recorded the
+  seed baseline below, the serial wall must also have dropped >= 5x
+  against that recorded number.
 
 Output: benchmarks/reports/distance_scaling.json (machine-readable, the
 perf-tracking artifact) plus the usual text report.
@@ -37,6 +43,11 @@ from repro.msa.distances import full_dp_distance_matrix
 #: backend=None is the serial in-process path.
 BACKENDS = (None, "threads", "processes")
 ESTIMATORS = ("ktuple", "full-dp")
+
+#: Serial full-dp N=48 wall recorded by this bench *before* the batched
+#: DP kernel landed (same workload, same seed) -- the before/after
+#: anchor for the batching speedup.
+SEED_FULL_DP_SERIAL_48_S = 1.023
 
 
 def _workloads():
@@ -98,6 +109,31 @@ def run_distance_scaling(workers=4, repeats=2):
             )
             identical = identical and same
 
+    # Batched vs per-pair DP kernel, head to head on the serial full-dp
+    # stage (same workload as the recorded seed baseline).
+    n_batch = 48 if 48 in workloads else max(workloads)
+    batch_seqs = workloads[n_batch]
+    batched_wall, batched_d = _measure(
+        lambda: all_pairs(batch_seqs, "full-dp"), max(repeats, 3)
+    )
+    os.environ["REPRO_DP_BATCH_PAIRS"] = "0"
+    try:
+        per_pair_wall, per_pair_d = _measure(
+            lambda: all_pairs(batch_seqs, "full-dp"), repeats
+        )
+    finally:
+        del os.environ["REPRO_DP_BATCH_PAIRS"]
+    batch_speedup = per_pair_wall / batched_wall
+    batch_identical = batched_d.tobytes() == per_pair_d.tobytes()
+    # The seed-baseline gate only means something on hosts comparable to
+    # the recorder: require the *per-pair* wall to land within 2x of the
+    # recorded number before holding the batched wall to 5x against it.
+    seed_comparable = (
+        n_batch == 48
+        and 0.5 < per_pair_wall / SEED_FULL_DP_SERIAL_48_S < 2.0
+    )
+    seed_speedup = SEED_FULL_DP_SERIAL_48_S / batched_wall
+
     # The headline comparison: parallel all-pairs full-dp vs the legacy
     # serial helper it replaced.
     n_head = max(workloads)
@@ -128,7 +164,12 @@ def run_distance_scaling(workers=4, repeats=2):
         f"full-dp N={n_head}: serial legacy {legacy_wall:.3f}s vs "
         f"processes all_pairs {par_wall:.3f}s -> {speedup:.2f}x "
         f"(>1 means the parallel path wins; bounded by min(workers, "
-        f"host_cores))"
+        f"host_cores))\n"
+        f"batched DP kernel, serial full-dp N={n_batch}: per-pair "
+        f"{per_pair_wall:.3f}s vs batched {batched_wall:.3f}s -> "
+        f"{batch_speedup:.2f}x (byte-identical: {batch_identical}); "
+        f"vs recorded seed baseline {SEED_FULL_DP_SERIAL_48_S:.3f}s -> "
+        f"{seed_speedup:.2f}x"
     )
     write_report("distance_scaling", text)
 
@@ -146,6 +187,16 @@ def run_distance_scaling(workers=4, repeats=2):
             "speedup": speedup,
             "identical": headline_identical,
             "parallel_beats_serial": speedup > 1.0,
+        },
+        "batched_kernel": {
+            "n": n_batch,
+            "per_pair_wall_s": per_pair_wall,
+            "batched_wall_s": batched_wall,
+            "speedup": batch_speedup,
+            "identical": batch_identical,
+            "seed_baseline_wall_s": SEED_FULL_DP_SERIAL_48_S,
+            "seed_speedup": seed_speedup,
+            "seed_comparable_host": seed_comparable,
         },
     }
     REPORT_DIR.mkdir(exist_ok=True)
@@ -168,6 +219,13 @@ def test_distance_scaling(benchmark):
     # host can only tie.
     if payload["host_cores"] >= 2:
         assert payload["full_dp"]["parallel_beats_serial"]
+    # Batched DP kernel: exact, and >= 3x over the per-pair kernel on
+    # the same host in the same run (host-independent); >= 5x against
+    # the recorded seed baseline where that baseline is comparable.
+    assert payload["batched_kernel"]["identical"]
+    assert payload["batched_kernel"]["speedup"] >= 3.0
+    if payload["batched_kernel"]["seed_comparable_host"]:
+        assert payload["batched_kernel"]["seed_speedup"] >= 5.0
 
 
 if __name__ == "__main__":

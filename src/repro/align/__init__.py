@@ -26,13 +26,16 @@ though ``repro.align`` is also the kernel subpackage.
 import sys as _sys
 import types as _types
 
+from repro.align.batchdp import affine_align_batch, affine_score_batch
 from repro.align.dp import AffineDPResult, affine_align, affine_score
 from repro.align.incremental import add_sequence, add_sequences
-from repro.align.kband import banded_align, banded_score
+from repro.align.kband import banded_align, banded_align_batch, banded_score
 from repro.align.pairwise import (
     PairwiseResult,
     global_align,
+    global_align_batch,
     global_score,
+    global_score_batch,
     local_align,
     pairwise_identity,
 )
@@ -53,14 +56,19 @@ __all__ = [
     "add_sequence",
     "add_sequences",
     "affine_align",
+    "affine_align_batch",
     "affine_score",
+    "affine_score_batch",
     "affine_sp_score",
     "align_profiles",
     "banded_align",
+    "banded_align_batch",
     "banded_score",
     "consensus_sequence",
     "global_align",
+    "global_align_batch",
     "global_score",
+    "global_score_batch",
     "local_align",
     "merge_profiles",
     "neighbor_joining",

@@ -95,7 +95,8 @@ def _forward(
     keep_matrices: bool,
 ):
     """Fill the DP tables.  Returns (H, E, F) full matrices when
-    ``keep_matrices`` else just the final row of H (score-only mode)."""
+    ``keep_matrices`` else the final row *and* final column of H
+    (score-only mode stays O(n) memory even with scaled terminal gaps)."""
     m, n = S.shape
     cum_x = np.concatenate(([0.0], np.cumsum(ext_x)))  # C_x[i], i=0..m
     cum_y = np.concatenate(([0.0], np.cumsum(ext_y)))  # C_y[j], j=0..n
@@ -104,8 +105,10 @@ def _forward(
         H = np.empty((m + 1, n + 1))
         E = np.empty((m + 1, n + 1))
         F = np.empty((m + 1, n + 1))
+        h_col = None
     else:
         H = E = F = None
+        h_col = np.empty(m + 1)  # H[:, n], tracked incrementally
 
     # Row 0: leading horizontal gap (consuming Y), scaled by tf.
     h_prev = np.empty(n + 1)
@@ -118,6 +121,8 @@ def _forward(
         E[0] = e_prev
         F[0, 0] = NEG
         F[0, 1:] = h_prev[1:]
+    else:
+        h_col[0] = h_prev[n]
 
     open_k = np.empty(n)  # open_y at first consumed column k+1, k = 0..n-1
     if n:
@@ -148,12 +153,14 @@ def _forward(
             H[i] = h_row
             E[i] = e_row
             F[i] = f_row
+        else:
+            h_col[i] = h_row[n]
         h_prev, h_row = h_row, h_prev
         e_prev, e_row = e_row, e_prev
     # After the swap, h_prev holds the final row.
     if keep_matrices:
         return H, E, F, cum_x, cum_y
-    return h_prev.copy(), cum_x, cum_y
+    return h_prev.copy(), h_col, cum_x, cum_y
 
 
 def _terminal_best(
@@ -218,18 +225,15 @@ def affine_score(
         if m == 0:
             return -tf * (open_y[0] + ext_y.sum()) if n else 0.0
         return -tf * (open_x[0] + ext_x.sum())
-    h_last, cum_x, cum_y = _forward(
+    h_last, h_col, cum_x, cum_y = _forward(
         S, open_x, ext_x, open_y, ext_y, terminal_factor, keep_matrices=False
     )
     if terminal_factor == 1.0:
         return float(h_last[n])
-    # Need the last column too for scaled trailing gaps: rerun keeping
-    # matrices (rare path; scoring with free ends is used on small inputs).
-    H, _E, _F, cum_x, cum_y = _forward(
-        S, open_x, ext_x, open_y, ext_y, terminal_factor, keep_matrices=True
-    )
+    # Scaled trailing gaps need the last column too; it is tracked
+    # incrementally during the same O(n)-memory pass.
     score, _i, _j = _terminal_best(
-        H[:, n], H[m, :], open_x, open_y, cum_x, cum_y, terminal_factor
+        h_col, h_last, open_x, open_y, cum_x, cum_y, terminal_factor
     )
     return score
 
@@ -276,7 +280,29 @@ def affine_align(
     score, i, j = _terminal_best(
         H[:, n], H[m, :], open_x, open_y, cum_x, cum_y, tf
     )
+    x_map, y_map = _traceback(H, E, F, S, open_x, open_y, i, j, m, n)
+    return AffineDPResult(score, x_map, y_map)
 
+
+def _traceback(
+    H: np.ndarray,
+    E: np.ndarray,
+    F: np.ndarray,
+    S: np.ndarray,
+    open_x: np.ndarray,
+    open_y: np.ndarray,
+    i: int,
+    j: int,
+    m: int,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recover one optimal path from filled tables, starting the matched
+    region at ``(i, j)`` (the :func:`_terminal_best` end cell).
+
+    Ties break deterministically (diagonal > vertical > horizontal).  The
+    tables may be strided views -- the batched kernel hands in per-pair
+    slices of its stacked tables and gets the byte-identical path.
+    """
     xs: List[int] = []
     ys: List[int] = []
     # Trailing gap emitted first (we build the path reversed).
@@ -326,8 +352,7 @@ def affine_align(
         ys.append(j - 1)
         j -= 1
 
-    return AffineDPResult(
-        score,
+    return (
         np.array(xs[::-1], dtype=np.int64),
         np.array(ys[::-1], dtype=np.int64),
     )

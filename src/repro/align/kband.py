@@ -24,7 +24,7 @@ compiled implementation the same algorithm is the usual large win.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Sequence as TSequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,12 @@ from repro.align.dp import NEG, affine_align, affine_score
 from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
 from repro.seq.sequence import Sequence
 
-__all__ = ["banded_score", "banded_align", "kband_global_score"]
+__all__ = [
+    "banded_score",
+    "banded_align",
+    "banded_align_batch",
+    "kband_global_score",
+]
 
 
 def _banded_forward(
@@ -117,6 +122,36 @@ def banded_score(
     return kband_global_score(S, gaps.open, gaps.extend, initial_k)
 
 
+def _band_mask(S: np.ndarray, k: int) -> np.ndarray:
+    """``S`` with cells outside band ``|j - i*slope| <= k`` set to NEG/10.
+
+    One broadcast row-index/column-bound comparison instead of a per-row
+    Python loop; ``np.rint`` rounds half-to-even exactly like the
+    builtin ``round``, so the kept cells match the loop bit for bit.
+    """
+    m, n = S.shape
+    slope = n / m
+    centers = np.rint(np.arange(1, m + 1) * slope)
+    lo = np.maximum(centers - k - 1, 0)[:, None]
+    hi = np.minimum(centers + k, n)[:, None]
+    cols = np.arange(n)[None, :]
+    keep = (cols >= lo) & (cols < hi)
+    return np.where(keep, S, NEG / 10)
+
+
+def _certified_band(
+    S: np.ndarray, go: float, ge: float, initial_k: int
+) -> Tuple[float, int]:
+    """Banded score + the band half-width that certified it."""
+    m, n = S.shape
+    k = max(initial_k, abs(n - m) + 1)
+    while True:
+        score, touched = _banded_forward(S, go, ge, k)
+        if not touched or k >= max(m, n):
+            return score, k
+        k *= 2
+
+
 def banded_align(
     x: Sequence,
     y: Sequence,
@@ -139,20 +174,50 @@ def banded_align(
         res = affine_align(S, gaps.open, gaps.extend)
         return PairwiseResult(x, y, res.score, res.x_map, res.y_map)
 
-    k = max(initial_k, abs(n - m) + 1)
-    while True:
-        score, touched = _banded_forward(S, gaps.open, gaps.extend, k)
-        if not touched or k >= max(m, n):
-            break
-        k *= 2
+    score, k = _certified_band(S, gaps.open, gaps.extend, initial_k)
     # Mask outside the certified band and run the exact kernel: the
     # optimum is inside, so the masked problem has the same optimum.
-    slope = n / m
-    masked = np.full_like(S, NEG / 10)
-    for i in range(m):
-        center = int(round((i + 1) * slope))
-        lo = max(center - k - 1, 0)
-        hi = min(center + k, n)
-        masked[i, lo:hi] = S[i, lo:hi]
-    res = affine_align(masked, gaps.open, gaps.extend)
+    res = affine_align(_band_mask(S, k), gaps.open, gaps.extend)
     return PairwiseResult(x, y, score, res.x_map, res.y_map)
+
+
+def banded_align_batch(
+    pairs: TSequence[Tuple[Sequence, Sequence]],
+    matrix: SubstitutionMatrix = BLOSUM62,
+    gaps: GapPenalties = GapPenalties(),
+    initial_k: int = 16,
+    max_batch_cells: Optional[int] = None,
+) -> List:
+    """Banded alignments of many pairs with one fused traceback DP.
+
+    Band certification stays per pair (each pair doubles independently),
+    but the masked full-kernel traceback passes -- the expensive O(m*n)
+    part -- run through :func:`repro.align.batchdp.affine_align_batch`,
+    so results are byte-identical to per-pair :func:`banded_align` while
+    the DP dispatch cost is amortised across the batch.
+    """
+    from repro.align.batchdp import affine_align_batch
+    from repro.align.pairwise import PairwiseResult
+
+    results: List = [None] * len(pairs)
+    live: List[int] = []
+    masked_list: List[np.ndarray] = []
+    band_scores: List[float] = []
+    for idx, (x, y) in enumerate(pairs):
+        S = matrix.pair_scores(x.codes, y.codes).astype(np.float64)
+        m, n = S.shape
+        if m == 0 or n == 0:
+            res = affine_align(S, gaps.open, gaps.extend)
+            results[idx] = PairwiseResult(x, y, res.score, res.x_map, res.y_map)
+            continue
+        score, k = _certified_band(S, gaps.open, gaps.extend, initial_k)
+        live.append(idx)
+        masked_list.append(_band_mask(S, k))
+        band_scores.append(score)
+    batch = affine_align_batch(
+        masked_list, gaps.open, gaps.extend, max_batch_cells=max_batch_cells
+    )
+    for idx, score, res in zip(live, band_scores, batch):
+        x, y = pairs[idx]
+        results[idx] = PairwiseResult(x, y, score, res.x_map, res.y_map)
+    return results

@@ -291,9 +291,24 @@ class FullDpDistance(DistanceEstimator):
         jj: np.ndarray,
         state: Any = None,
     ) -> np.ndarray:
-        from repro.align.pairwise import global_align
+        from repro.align.batchdp import dp_batch_pairs
+        from repro.align.pairwise import global_align, global_align_batch
 
         out = np.empty(len(ii), dtype=np.float64)
+        chunk = dp_batch_pairs()
+        if chunk > 1:
+            # Batched kernel: identical values (the batched DP is
+            # byte-identical to the per-pair one), K-fold less numpy
+            # dispatch.  Chunking bounds working memory per tile.
+            for t0 in range(0, len(ii), chunk):
+                pairs = [
+                    (seqs[int(a)], seqs[int(b)])
+                    for a, b in zip(ii[t0 : t0 + chunk], jj[t0 : t0 + chunk])
+                ]
+                res = global_align_batch(pairs, self.matrix, self.gaps)
+                for t, r in enumerate(res):
+                    out[t0 + t] = r.identity()
+            return out
         for t in range(len(ii)):
             out[t] = global_align(
                 seqs[int(ii[t])], seqs[int(jj[t])], self.matrix, self.gaps
@@ -340,9 +355,26 @@ class KbandDistance(DistanceEstimator):
         jj: np.ndarray,
         state: Any = None,
     ) -> np.ndarray:
-        from repro.align.kband import banded_align
+        from repro.align.batchdp import dp_batch_pairs
+        from repro.align.kband import banded_align, banded_align_batch
 
         out = np.empty(len(ii), dtype=np.float64)
+        chunk = dp_batch_pairs()
+        if chunk > 1:
+            # Band certification stays per pair; the masked traceback
+            # DPs -- the expensive part -- run through the batched
+            # kernel (identical values, K-fold less dispatch).
+            for t0 in range(0, len(ii), chunk):
+                pairs = [
+                    (seqs[int(a)], seqs[int(b)])
+                    for a, b in zip(ii[t0 : t0 + chunk], jj[t0 : t0 + chunk])
+                ]
+                res = banded_align_batch(
+                    pairs, self.matrix, self.gaps, initial_k=self.initial_band
+                )
+                for t, r in enumerate(res):
+                    out[t0 + t] = r.identity()
+            return out
         for t in range(len(ii)):
             out[t] = banded_align(
                 seqs[int(ii[t])],
