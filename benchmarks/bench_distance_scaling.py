@@ -20,7 +20,11 @@ proves two things:
   per-pair kernel (``REPRO_DP_BATCH_PAIRS=0``), measured head-to-head
   in the same run.  On hosts comparable to the one that recorded the
   seed baseline below, the serial wall must also have dropped >= 5x
-  against that recorded number.
+  against that recorded number.  The ``kband`` estimator rides the same
+  contract: its batched band certification + traceback
+  (``REPRO_KBAND_BATCH=0`` to disable) must be byte-identical to the
+  per-pair loop, with the >= 1.5x end-to-end gate in
+  bench_merge_batch.
 
 Output: benchmarks/reports/distance_scaling.json (machine-readable, the
 perf-tracking artifact) plus the usual text report.
@@ -42,7 +46,7 @@ from repro.msa.distances import full_dp_distance_matrix
 
 #: backend=None is the serial in-process path.
 BACKENDS = (None, "threads", "processes")
-ESTIMATORS = ("ktuple", "full-dp")
+ESTIMATORS = ("ktuple", "kband", "full-dp")
 
 #: Serial full-dp N=48 wall recorded by this bench *before* the batched
 #: DP kernel landed (same workload, same seed) -- the before/after
@@ -125,6 +129,22 @@ def run_distance_scaling(workers=4, repeats=2):
         del os.environ["REPRO_DP_BATCH_PAIRS"]
     batch_speedup = per_pair_wall / batched_wall
     batch_identical = batched_d.tobytes() == per_pair_d.tobytes()
+
+    # Batched k-band certification (PR 9), head to head on the serial
+    # kband estimator: fused adaptive-doubling rounds + batched masked
+    # traceback vs the per-pair loop (``REPRO_KBAND_BATCH=0``).
+    kband_batched_wall, kband_batched_d = _measure(
+        lambda: all_pairs(batch_seqs, "kband"), max(repeats, 3)
+    )
+    os.environ["REPRO_KBAND_BATCH"] = "0"
+    try:
+        kband_pp_wall, kband_pp_d = _measure(
+            lambda: all_pairs(batch_seqs, "kband"), repeats
+        )
+    finally:
+        del os.environ["REPRO_KBAND_BATCH"]
+    kband_speedup = kband_pp_wall / kband_batched_wall
+    kband_identical = kband_batched_d.tobytes() == kband_pp_d.tobytes()
     # The seed-baseline gate only means something on hosts comparable to
     # the recorder: require the *per-pair* wall to land within 2x of the
     # recorded number before holding the batched wall to 5x against it.
@@ -169,7 +189,11 @@ def run_distance_scaling(workers=4, repeats=2):
         f"{per_pair_wall:.3f}s vs batched {batched_wall:.3f}s -> "
         f"{batch_speedup:.2f}x (byte-identical: {batch_identical}); "
         f"vs recorded seed baseline {SEED_FULL_DP_SERIAL_48_S:.3f}s -> "
-        f"{seed_speedup:.2f}x"
+        f"{seed_speedup:.2f}x\n"
+        f"batched k-band certification, serial kband N={n_batch}: "
+        f"per-pair {kband_pp_wall:.3f}s vs batched "
+        f"{kband_batched_wall:.3f}s -> {kband_speedup:.2f}x "
+        f"(byte-identical: {kband_identical})"
     )
     write_report("distance_scaling", text)
 
@@ -197,6 +221,13 @@ def run_distance_scaling(workers=4, repeats=2):
             "seed_baseline_wall_s": SEED_FULL_DP_SERIAL_48_S,
             "seed_speedup": seed_speedup,
             "seed_comparable_host": seed_comparable,
+        },
+        "kband_batch": {
+            "n": n_batch,
+            "per_pair_wall_s": kband_pp_wall,
+            "batched_wall_s": kband_batched_wall,
+            "speedup": kband_speedup,
+            "identical": kband_identical,
         },
     }
     REPORT_DIR.mkdir(exist_ok=True)
@@ -226,6 +257,9 @@ def test_distance_scaling(benchmark):
     assert payload["batched_kernel"]["speedup"] >= 3.0
     if payload["batched_kernel"]["seed_comparable_host"]:
         assert payload["batched_kernel"]["seed_speedup"] >= 5.0
+    # Batched k-band certification: exact; the >= 1.5x end-to-end perf
+    # gate lives in bench_merge_batch.
+    assert payload["kband_batch"]["identical"]
 
 
 if __name__ == "__main__":

@@ -433,25 +433,35 @@ def _forward_batch(batch: _PaddedBatch, tf: float, align: bool):
     t1 = _scratch.take("t1", (nmax, K))
     dg = _scratch.take("dg", (nmax, K))
     h0 = _scratch.take("h0", (nmax, K))
-    term = _scratch.take("term", (nmax, K))
-    term_b = _scratch.take("term_b", (nmax, K))
     f_tail = _scratch.take("f_tail", (nmax, K))
     cy1 = cum_y[1:]
     cy_mid = cum_y[1:-1]
     # The log-step max-scan ping-pongs between two buffers: writing the
     # shifted maximum in place would overlap input and output, which
-    # makes numpy copy the shifted input every step.  The buffer
-    # alternation is deterministic, so all views are hoisted here.
+    # makes numpy copy the shifted input every step.  Each buffer
+    # carries a NEG-filled left margin of ``nmax`` rows so a shifted
+    # read below row 0 lands on NEG instead of needing a per-step
+    # prefix copy: ``term[0]`` is a finite boundary-derived value, so
+    # every running prefix maximum exceeds NEG and the margin is the
+    # identity under ``np.maximum`` -- one op per scan step, same bits.
+    # The margins are read-only during the scan (writes land at
+    # ``[nmax:]`` only), so one fill per call suffices.
+    termX = _scratch.take("termX", (2 * nmax, K))
+    termX_b = _scratch.take("termX_b", (2 * nmax, K))
+    termX[:nmax] = NEG
+    termX_b[:nmax] = NEG
+    term = termX[nmax:]
+    # The buffer alternation is deterministic, so all views are hoisted.
     scan_plan = []
     step = 1
-    src, dst = term, term_b
+    src, dst = termX, termX_b
     while step < nmax:
         scan_plan.append(
-            (dst[:step], src[:step], src[step:], src[:-step], dst[step:])
+            (src[nmax:], src[nmax - step : 2 * nmax - step], dst[nmax:])
         )
         src, dst = dst, src
         step *= 2
-    term_out = src
+    term_out = src[nmax:]
     # Row roles alternate between the two buffer pairs each iteration;
     # hoist both parities' slice views out of the loop.
     parities = (
@@ -486,9 +496,8 @@ def _forward_batch(batch: _PaddedBatch, tf: float, align: bool):
         tv = term[1:]
         np.add(h0[:-1], cy_mid, out=tv)
         np.subtract(tv, oy_s if uni is not None else oy_tail, out=tv)
-        for pre_d, pre_s, hi_d, lo_s, hi_out in scan_plan:
-            np.copyto(pre_d, pre_s)
-            np.maximum(hi_d, lo_s, out=hi_out)
+        for s_hi, s_lo, s_out in scan_plan:
+            np.maximum(s_hi, s_lo, out=s_out)
         np.subtract(term_out, cy1, out=f_tail)
         np.maximum(h0, f_tail, out=ch1)
         if align:

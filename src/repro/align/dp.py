@@ -33,6 +33,7 @@ final sweep over the last row/column.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -51,6 +52,35 @@ _ALIGN_CALLS = _obs_registry().counter("dp.align_calls")
 _ALIGN_CELLS = _obs_registry().counter("dp.align_cells")
 _SCORE_CALLS = _obs_registry().counter("dp.score_calls")
 _SCORE_CELLS = _obs_registry().counter("dp.score_cells")
+
+
+class _TablePool(threading.local):
+    """Thread-local grow-only pool for the align-mode H/E/F tables.
+
+    The traceback path fills three dense ``(m+1, n+1)`` tables per call;
+    near the root of a merge DAG those are multi-MB, and a fresh
+    ``np.empty`` pays the page-fault cost on every merge.  Every cell of
+    every table is written before it is read (row 0 plus each row's full
+    slots), so reusing the allocation across calls cannot change a
+    single value.  The tables never outlive the call: the traceback
+    reads them and returns plain index arrays.
+    """
+
+    def __init__(self) -> None:
+        self.bufs: dict = {}
+
+    def take(self, key: str, shape: Tuple[int, ...]) -> np.ndarray:
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        buf = self.bufs.get(key)
+        if buf is None or buf.size < size:
+            buf = np.empty(size)
+            self.bufs[key] = buf
+        return buf[:size].reshape(shape)
+
+
+_tables = _TablePool()
 
 
 @dataclass
@@ -102,9 +132,9 @@ def _forward(
     cum_y = np.concatenate(([0.0], np.cumsum(ext_y)))  # C_y[j], j=0..n
 
     if keep_matrices:
-        H = np.empty((m + 1, n + 1))
-        E = np.empty((m + 1, n + 1))
-        F = np.empty((m + 1, n + 1))
+        H = _tables.take("H", (m + 1, n + 1))
+        E = _tables.take("E", (m + 1, n + 1))
+        F = _tables.take("F", (m + 1, n + 1))
         h_col = None
     else:
         H = E = F = None
@@ -121,6 +151,8 @@ def _forward(
         E[0] = e_prev
         F[0, 0] = NEG
         F[0, 1:] = h_prev[1:]
+        h_prev = H[0]
+        e_prev = E[0]
     else:
         h_col[0] = h_prev[n]
 
@@ -128,36 +160,63 @@ def _forward(
     if n:
         open_k[:] = open_y
 
-    h_row = np.empty(n + 1)
-    e_row = np.empty(n + 1)
-    f_row = np.empty(n + 1)
+    # Loop-invariant boundary values, hoisted out of the row loop: the
+    # same elementwise ops the loop used to apply one scalar at a time,
+    # so every value is bit-identical.
+    bounds = -tf * (open_x[0] + cum_x)  # H[i, 0] == E[i, 0]
+    if n:
+        term0s = (bounds + cum_y[0]) - open_k[0]
+        cy_mid = cum_y[1:-1]
+        cy1 = cum_y[1:]
+        ok_tail = open_k[1:]
+
+    # Preallocated row scratch, written via ``out=`` so the row loop
+    # allocates nothing (the old per-row temporaries dominated dispatch
+    # cost on short rows).  In matrix mode the E/F/H rows are computed
+    # directly in their table slots and ``h_prev``/``e_prev`` become
+    # views of the previous table row -- same values, no row copies.
+    t1 = np.empty(n)
+    dg = np.empty(n)
+    h0 = np.empty(n)
+    term = np.empty(n)
+    scan = np.empty(n)
+    h_row = None if keep_matrices else np.empty(n + 1)
+    e_row = None if keep_matrices else np.empty(n + 1)
+    f_tail = None if keep_matrices else np.empty(n)
     for i in range(1, m + 1):
         ox, ex = open_x[i - 1], ext_x[i - 1]
-        boundary = -tf * (open_x[0] + cum_x[i])
-        h_row[0] = boundary
-        e_row[0] = boundary
-        f_row[0] = NEG
-        if n:
-            # Vertical gap: reads only the previous row.
-            e_row[1:] = np.maximum(e_prev[1:], h_prev[1:] - ox) - ex
-            # Diagonal: previous row shifted.
-            h0 = np.maximum(h_prev[:-1] + S[i - 1], e_row[1:])
-            # Horizontal gap via the exact prefix scan (see module docstring).
-            term = np.empty(n)
-            term[0] = h_row[0] + cum_y[0] - open_k[0]
-            term[1:] = h0[:-1] + cum_y[1:-1] - open_k[1:]
-            scan = np.maximum.accumulate(term)
-            f_row[1:] = scan - cum_y[1:]
-            h_row[1:] = np.maximum(h0, f_row[1:])
         if keep_matrices:
-            H[i] = h_row
-            E[i] = e_row
-            F[i] = f_row
+            h_row, e_row = H[i], E[i]
+            f_row1 = F[i, 1:]
+            F[i, 0] = NEG
+        else:
+            f_row1 = f_tail
+        h_row[0] = bounds[i]
+        e_row[0] = bounds[i]
+        if n:
+            ev = e_row[1:]
+            # Vertical gap: reads only the previous row.
+            np.subtract(h_prev[1:], ox, out=t1)
+            np.maximum(e_prev[1:], t1, out=ev)
+            np.subtract(ev, ex, out=ev)
+            # Diagonal: previous row shifted.
+            np.add(h_prev[:-1], S[i - 1], out=dg)
+            np.maximum(dg, ev, out=h0)
+            # Horizontal gap via the exact prefix scan (see module docstring).
+            term[0] = term0s[i]
+            tv = term[1:]
+            np.add(h0[:-1], cy_mid, out=tv)
+            np.subtract(tv, ok_tail, out=tv)
+            np.maximum.accumulate(term, out=scan)
+            np.subtract(scan, cy1, out=f_row1)
+            np.maximum(h0, f_row1, out=h_row[1:])
+        if keep_matrices:
+            h_prev, e_prev = h_row, e_row
         else:
             h_col[i] = h_row[n]
-        h_prev, h_row = h_row, h_prev
-        e_prev, e_row = e_row, e_prev
-    # After the swap, h_prev holds the final row.
+            h_prev, h_row = h_row, h_prev
+            e_prev, e_row = e_row, e_prev
+    # After the swap (or final view), h_prev holds the final row.
     if keep_matrices:
         return H, E, F, cum_x, cum_y
     return h_prev.copy(), h_col, cum_x, cum_y

@@ -13,22 +13,39 @@ eventually covers the whole matrix.
 The in-band DP reuses the same exact row-vectorised lazy-F scan as the
 full kernel (:mod:`repro.align.dp`), applied to band-local slices.
 
+Batched certification: the adaptive doubling loop is also available as
+a fused pass over many pairs (:func:`_banded_forward_batch` under the
+:func:`_certified_band_batch` driver).  Each round runs the banded
+forward recurrence of every still-uncertified pair in one padded
+(row, band-offset, pair) tensor -- grouped by band half-width so the
+padding stays tight -- and only the pairs whose optimum touched their
+band boundary re-enter the next round with ``k`` doubled.  Cell for
+cell the batched recurrence performs the scalar kernel's operations in
+the same order, and out-of-band cells are re-masked to ``NEG`` every
+row, so the per-pair ``(score, touched, certified k)`` triples are
+**bit-identical** to the scalar loop.  ``REPRO_KBAND_BATCH=0`` restores
+per-pair certification.
+
 Performance note (measured, see the test suite): with numpy's per-row
-dispatch overhead the banded kernel does *not* beat the already-O(n)-
-memory score-only full kernel in wall time at protein lengths; its value
-in this code base is (a) O(k*n) traceback memory for very long inputs
-(the full traceback kernel stores three (m+1)x(n+1) matrices) and
-(b) substrate fidelity -- MUSCLE's pairwise stages are k-band.  In a
-compiled implementation the same algorithm is the usual large win.
+dispatch overhead the *scalar* banded kernel does not beat the
+already-O(n)-memory score-only full kernel in wall time at protein
+lengths; the batched certification pass amortises that dispatch across
+the pair axis the same way :mod:`repro.align.batchdp` does for the full
+kernel, which is where the k-band's O(k*n) area finally shows up as
+wall-clock.  In a compiled implementation the same algorithm is the
+usual large win per pair.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence as TSequence, Tuple
 
 import numpy as np
 
 from repro.align.dp import NEG, affine_align, affine_score
+from repro.obs.metrics import registry as _obs_registry
+from repro.obs.tracing import span
 from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
 from repro.seq.sequence import Sequence
 
@@ -37,7 +54,37 @@ __all__ = [
     "banded_align",
     "banded_align_batch",
     "kband_global_score",
+    "kband_global_score_batch",
+    "kband_batch_enabled",
 ]
+
+# Fused-certification counters: calls = batched forward passes (one per
+# doubling round per width group), pairs = pair-rounds moved through
+# them.  /metrics shows whether k-band certification runs batched.
+_KBAND_BATCH_CALLS = _obs_registry().counter("kband.batch_calls")
+_KBAND_BATCH_PAIRS = _obs_registry().counter("kband.batch_pairs")
+
+#: Below this many pairs the fused banded kernel loses to the scalar
+#: one: its per-row gathers and dead-cell re-masking are flat in the
+#: pair count, so a batch of one just adds overhead.  Purely a
+#: performance threshold; both paths are bit-identical.
+_MIN_KBAND_BATCH = 2
+
+
+def kband_batch_enabled() -> bool:
+    """Whether batched k-band certification is enabled.
+
+    ``REPRO_KBAND_BATCH=0`` disables the fused pass (every pair then
+    certifies through the scalar doubling loop, the reference path the
+    benchmarks compare against); any other value -- or an unset or
+    unparsable one -- leaves it on.  Results are bit-identical either
+    way; the knob exists for A/B timing and debugging.
+    """
+    raw = os.environ.get("REPRO_KBAND_BATCH", "1")
+    try:
+        return int(raw) != 0
+    except ValueError:
+        return True
 
 
 def _banded_forward(
@@ -45,50 +92,284 @@ def _banded_forward(
 ) -> Tuple[float, bool]:
     """Score of the best path inside band |j - i*(n/m)| <= k.
 
-    Returns (score, touched_boundary).  Simple row-sliced implementation:
-    cells outside the band hold -inf, so boundary contact is detectable
-    by inspecting the band-edge cells that carried finite scores.
+    Returns (score, touched_boundary).  Row-sliced implementation: cells
+    outside the band hold -inf, so boundary contact is detectable by
+    inspecting the band-edge cells that carried finite scores.  The row
+    buffers ping-pong between two preallocated pairs and the in-band
+    slices are contiguous ranges, so the per-row cost is the arithmetic
+    itself, not allocator traffic.
     """
     m, n = S.shape
     slope = n / max(m, 1)
-    H_prev = np.full(n + 1, NEG)
-    E_prev = np.full(n + 1, NEG)
+    bufs = (
+        np.full(n + 1, NEG),
+        np.full(n + 1, NEG),
+        np.empty(n + 1),
+        np.empty(n + 1),
+    )
+    H_prev, E_prev = bufs[0], bufs[1]
     H_prev[0] = 0.0
     hi0 = min(int(round(0 * slope)) + k, n)
     H_prev[1 : hi0 + 1] = -(go + ge * np.arange(1, hi0 + 1))
 
     touched = False
     cum = ge * np.arange(n + 1)
+    # Scratch reused across rows (sliced to the band width per row).
+    t_buf = np.empty(n + 1)
+    h0_buf = np.empty(n + 1)
+    base_buf = np.empty(n + 1)
     for i in range(1, m + 1):
+        H_row, E_row = bufs[2 * (i & 1)], bufs[2 * (i & 1) + 1]
+        H_row.fill(NEG)
+        E_row.fill(NEG)
         center = int(round(i * slope))
         lo = max(center - k, 0)
         hi = min(center + k, n)
-        H_row = np.full(n + 1, NEG)
-        E_row = np.full(n + 1, NEG)
         if lo == 0:
             H_row[0] = -(go + ge * i)
-        j = np.arange(max(lo, 1), hi + 1)
-        if j.size:
-            E_row[j] = np.maximum(E_prev[j], H_prev[j] - go) - ge
-            diag = H_prev[j - 1] + S[i - 1, j - 1]
-            h0 = np.maximum(diag, E_row[j])
+        j0 = max(lo, 1)
+        w = hi - j0 + 1
+        if w > 0:
+            sl = slice(j0, hi + 1)
+            ev = E_row[sl]
+            t = t_buf[:w]
+            np.subtract(H_prev[sl], go, out=t)
+            np.maximum(E_prev[sl], t, out=ev)
+            np.subtract(ev, ge, out=ev)
+            h0 = h0_buf[:w]
+            np.add(H_prev[j0 - 1 : hi], S[i - 1, j0 - 1 : hi], out=h0)
+            np.maximum(h0, ev, out=h0)
             # In-row horizontal scan over the band slice.
-            base = np.empty(j.size)
-            left = j[0] - 1
-            base[0] = (H_row[left] if left >= lo or left == 0 else NEG)
-            base[0] += cum[left] - go
-            base[1:] = h0[:-1] + cum[j[:-1]] - go
-            scan = np.maximum.accumulate(base)
-            f = scan - cum[j]
-            H_row[j] = np.maximum(h0, f)
+            base = base_buf[:w]
+            left = j0 - 1
+            b0 = H_row[left] if left >= lo or left == 0 else NEG
+            base[0] = b0 + (cum[left] - go)
+            np.add(h0[:-1], cum[j0:hi], out=base[1:])
+            np.subtract(base[1:], go, out=base[1:])
+            np.maximum.accumulate(base, out=base)
+            np.subtract(base, cum[sl], out=base)
+            np.maximum(h0, base, out=H_row[sl])
             # Boundary contact: a finite best score on the band edge of
             # this row means a wider band might improve the result.
-            if H_row[j[0]] > NEG / 2 and j[0] > 0 and j[0] == center - k:
+            if H_row[j0] > NEG / 2 and j0 > 0 and j0 == center - k:
                 touched = True
-            if H_row[j[-1]] > NEG / 2 and j[-1] < n and j[-1] == center + k:
+            if H_row[hi] > NEG / 2 and hi < n and hi == center + k:
                 touched = True
         H_prev, E_prev = H_row, E_row
     return float(H_prev[n]), touched
+
+
+def _banded_forward_batch(
+    S_list: TSequence[np.ndarray], go: float, ge: float, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Banded forward scores of many pairs in one padded fused pass.
+
+    The batch analogue of :func:`_banded_forward` at a shared half-width
+    ``k``: every pair's band is laid out in a (band-offset, pair) frame
+    whose origin ``j0(i) = max(center_i - k, 1)`` tracks the pair's own
+    diagonal, and the row recurrence runs once per padded row for all
+    pairs together -- previous-row reads become ``take_along_axis``
+    gathers at the per-pair frame shift, the below-band boundary column
+    is threaded separately, and cells outside a pair's band (or past a
+    shorter pair's last row) are re-masked to ``NEG`` after every row.
+    That masking makes every value a batched lane reads equal, bit for
+    bit, to what the scalar kernel reads, so the returned ``(scores,
+    touched)`` arrays match per-pair :func:`_banded_forward` exactly --
+    including the boundary-contact decisions the doubling driver feeds
+    on.
+
+    All matrices must be non-empty (the callers bypass empty edges to
+    the full kernel, as the scalar path does).
+    """
+    Kp = len(S_list)
+    ms = np.array([S.shape[0] for S in S_list], dtype=np.int64)
+    ns = np.array([S.shape[1] for S in S_list], dtype=np.int64)
+    slopes = ns / np.maximum(ms, 1)
+    mmax = int(ms.max())
+
+    # Per-row band geometry for every pair, frozen at each pair's last
+    # row beyond it (frozen lanes keep their indices in range; their
+    # values after row m_p are never read -- scores are captured at
+    # i == m_p and `alive` gates the touched flags).
+    I_eff = np.minimum(np.arange(mmax + 1)[:, None], ms[None, :])
+    centers = np.rint(I_eff * slopes[None, :]).astype(np.int64)
+    lo = np.maximum(centers - k, 0)
+    hi = np.minimum(centers + k, ns[None, :])
+    j0 = np.maximum(lo, 1)
+    W = int((hi - j0).max()) + 1
+    O = np.arange(W, dtype=np.int64)
+    shifts = np.empty_like(j0)
+    shifts[0] = 0
+    np.subtract(j0[1:], j0[:-1], out=shifts[1:])  # >= 0: j0 nondecreasing
+
+    # Banded substitution scores: SB[i-1, o, p] = S_p[i-1, j0_p(i)-1+o]
+    # (the diagonal source column).  Out-of-band offsets clip to the
+    # last column -- their products are masked off every row.
+    SB = np.empty((mmax, W, Kp))
+    for p, S in enumerate(S_list):
+        m, n = S.shape
+        if k >= n:
+            # Full-width band (j0 == 1, hi == n on every row): the
+            # banded tensor is S itself, edge-padded -- a straight copy
+            # instead of a per-row gather.
+            SB[:m, :n, p] = S
+            SB[:m, n:, p] = S[:, n - 1 : n]
+        else:
+            cols = np.minimum(
+                j0[1 : m + 1, p][:, None] - 1 + O[None, :], n - 1
+            )
+            SB[:m, :, p] = S[np.arange(m)[:, None], cols]
+        if m < mmax:
+            SB[m:, :, p] = 0.0
+
+    # Boundary column j=0: exists (finite) only while lo == 0; bprev is
+    # what a diagonal read one column below the band start sees (the
+    # boundary when the band starts at j0 == 1, below-band NEG else).
+    B0 = np.where(lo == 0, -(go + ge * np.arange(mmax + 1))[:, None], NEG)
+    B0[0] = 0.0
+    bprev = np.where(j0 == 1, B0, NEG)
+    # base[0] of the in-row scan: this row's boundary column plus the
+    # open-from-column-(j0-1) cost, associated exactly as the scalar
+    # kernel's ``H_row[left] + (cum[left] - go)``.
+    T0 = B0 + (ge * (j0 - 1) - go)
+
+    # Row 0 in offset space (j0(0) == 1 for every pair): H[1+o] is the
+    # terminal-gap ramp up to column min(k, n), NEG beyond it.
+    Hb = np.full((W + 1, Kp), NEG)  # row W is a NEG sentinel for gathers
+    Eb = np.full((W + 1, Kp), NEG)
+    Hb2 = np.full((W + 1, Kp), NEG)
+    Eb2 = np.full((W + 1, Kp), NEG)
+    Hb[:W] = np.where(
+        (1 + O[:, None]) > hi[0][None, :],
+        NEG,
+        -(go + ge * (1 + O))[:, None],
+    )
+
+    scores = np.empty(Kp)
+    touched = np.zeros(Kp, dtype=bool)
+    # Flat-index gathers (``np.take`` into preallocated buffers) keep
+    # the per-row cost at the ufunc work itself: OK/PC broadcast the
+    # (offset, pair) -> flat position map, sK/sKd1 the per-row frame
+    # shifts (the diagonal's shift - 1 pre-clipped so offset -1 lands on
+    # the sentinel; its true value is patched from ``bprev``).
+    OK = O[:, None] * Kp
+    PC = np.arange(Kp, dtype=np.int64)
+    sK = shifts * Kp + PC[None, :]
+    sKd1 = (shifts - 1) * Kp + PC[None, :]
+    diag_under = shifts == 0  # offset -1 reads: bprev, not a gather
+    unshifted = ~shifts.any(axis=1)  # rows where no pair's frame moved
+    # A row's out-of-band cells need re-masking to NEG only if the next
+    # row's band reaches further right for some pair (only then would a
+    # valid cell read what was out of band); every row rewrites its full
+    # offset range, so unread garbage never persists.
+    mask_row = np.zeros(mmax + 1, dtype=bool)
+    mask_row[:-1] = (hi[1:] > hi[:-1]).any(axis=1)
+    idx = np.empty((W, Kp), dtype=np.int64)
+    Hg = np.empty((W, Kp))
+    Eg_buf = np.empty((W, Kp))
+    Hd = np.empty((W, Kp))
+    icol = np.empty((W, Kp), dtype=np.int64)
+    CB = np.empty((W, Kp))
+    base = np.empty((W, Kp))
+    dead = np.empty((W, Kp), dtype=bool)
+    WK = W * Kp + PC  # per-column sentinel flat positions
+    # Prime the cum(j) terms for the row-0 frame: unshifted rows reuse
+    # them, shifted rows recompute them for their own band columns.
+    np.add(O[:, None], j0[0][None, :], out=icol)
+    np.multiply(ge, icol, out=CB)
+    for i in range(1, mmax + 1):
+        H_prev, E_prev = Hb, Eb
+        H_row, E_row = Hb2, Eb2
+        hp_flat = H_prev.reshape(-1)
+        ep_flat = E_prev.reshape(-1)
+
+        if unshifted[i]:
+            # Every pair's band frame is where it was last row (the
+            # steady state once bands reach full width): the gathers
+            # are identity/one-off copies, so read through views and
+            # write E straight into its destination row.
+            Eg = E_row[:W]
+            np.subtract(H_prev[:W], go, out=Hg)
+            np.maximum(E_prev[:W], Hg, out=Eg)
+            np.subtract(Eg, ge, out=Eg)
+            Hd[0] = bprev[i - 1] + SB[i - 1, 0]
+            np.add(H_prev[: W - 1], SB[i - 1, 1:], out=Hd[1:])
+            np.maximum(Hd, Eg, out=Hd)  # h0
+        else:
+            Eg = Eg_buf
+            # Same-column reads H_prev[j], E_prev[j]: prev-frame offset
+            # o + s; out-of-buffer reads land on the NEG sentinel row.
+            np.add(OK, sK[i][None, :], out=idx)
+            np.minimum(idx, WK[None, :], out=idx)
+            np.take(hp_flat, idx, out=Hg)
+            np.take(ep_flat, idx, out=Eg)
+            # E_row = max(E_prev, H_prev - go) - ge
+            np.subtract(Hg, go, out=Hg)
+            np.maximum(Eg, Hg, out=Eg)
+            np.subtract(Eg, ge, out=Eg)
+
+            # Diagonal read H_prev[j-1]: offset o + s - 1; offset -1 is
+            # the previous row's boundary column (finite only when its
+            # band started at j0 == 1 with lo == 0, which bprev
+            # already encodes).
+            np.add(OK, sKd1[i][None, :], out=idx)
+            np.minimum(idx, WK[None, :], out=idx)
+            np.maximum(idx, 0, out=idx)  # o==0, s==0 reads; patched below
+            np.take(hp_flat, idx, out=Hd)
+            if diag_under[i].any():
+                np.copyto(Hd[0], bprev[i - 1], where=diag_under[i])
+            np.add(Hd, SB[i - 1], out=Hd)
+            np.maximum(Hd, Eg, out=Hd)  # h0
+            # The band columns moved, so the cum(j) terms move with them.
+            np.add(O[:, None], j0[i][None, :], out=icol)
+            np.multiply(ge, icol, out=CB)
+
+        # In-row horizontal scan: base[0] seeds from the boundary
+        # column of *this* row, base[o>=1] from h0 one offset left.
+        base[0] = T0[i]
+        np.add(Hd[:-1], CB[:-1], out=base[1:])
+        np.subtract(base[1:], go, out=base[1:])
+        np.maximum.accumulate(base, axis=0, out=base)
+        np.subtract(base, CB, out=base)  # f
+        np.maximum(Hd, base, out=H_row[:W])
+        if not unshifted[i]:
+            E_row[:W] = Eg
+
+        # Re-mask cells past each pair's band edge: the scalar kernel
+        # never computes them (they stay NEG), and the next row's
+        # gathers must read NEG there when its band reaches further, or
+        # horizontal-scan values would leak through out-of-band cells.
+        wrow = hi[i] - j0[i]
+        if mask_row[i]:
+            np.greater(O[:, None], wrow[None, :], out=dead)
+            np.copyto(H_row[:W], NEG, where=dead)
+            np.copyto(E_row[:W], NEG, where=dead)
+
+        # Boundary contact on the band edges of this row (alive pairs
+        # only), exactly the scalar conditions.
+        alive = i <= ms
+        edge = H_row.reshape(-1)[wrow * Kp + PC]
+        t_lo = (
+            alive
+            & (H_row[0] > NEG / 2)
+            & (j0[i] > 0)
+            & (j0[i] == centers[i] - k)
+        )
+        t_hi = (
+            alive
+            & (edge > NEG / 2)
+            & (hi[i] < ns)
+            & (hi[i] == centers[i] + k)
+        )
+        touched |= t_lo | t_hi
+
+        # A pair's final row ends at column n == hi, i.e. offset wrow.
+        fin = i == ms
+        if fin.any():
+            scores[fin] = edge[fin]
+
+        Hb, Eb, Hb2, Eb2 = Hb2, Eb2, Hb, Eb
+    return scores, touched
 
 
 def kband_global_score(
@@ -97,17 +378,44 @@ def kband_global_score(
     """Optimal global affine score via adaptive band doubling.
 
     Exact: the band doubles until the optimum no longer touches the band
-    boundary (or the band covers the matrix).
+    boundary (or the band covers the matrix).  One pair of the same
+    machinery :func:`kband_global_score_batch` amortises across many.
     """
     m, n = S.shape
     if m == 0 or n == 0:
         return affine_score(S, go, ge)
-    k = max(initial_k, abs(n - m) + 1)
-    while True:
-        score, touched = _banded_forward(S, go, ge, k)
-        if not touched or k >= max(m, n):
-            return score
-        k *= 2
+    score, _k = _certified_band(S, go, ge, initial_k)
+    return score
+
+
+def kband_global_score_batch(
+    S_list: TSequence[np.ndarray],
+    go: float,
+    ge: float,
+    initial_k: int = 16,
+) -> np.ndarray:
+    """Optimal global affine scores of many pairs, band-certified together.
+
+    The batch analogue of :func:`kband_global_score`: certification runs
+    through :func:`_certified_band_batch`, so each doubling round fuses
+    the banded DP of every still-uncertified pair into one padded pass
+    (``REPRO_KBAND_BATCH=0`` restores the per-pair loop).  Scores are
+    bit-identical to calling :func:`kband_global_score` per pair.
+    """
+    out = np.empty(len(S_list))
+    live: List[int] = []
+    for t, S in enumerate(S_list):
+        m, n = S.shape
+        if m == 0 or n == 0:
+            out[t] = affine_score(S, go, ge)
+        else:
+            live.append(t)
+    if live:
+        scores, _ks = _certified_band_batch(
+            [S_list[t] for t in live], go, ge, initial_k
+        )
+        out[live] = scores
+    return out
 
 
 def banded_score(
@@ -152,6 +460,119 @@ def _certified_band(
         k *= 2
 
 
+def _certified_band_batch(
+    S_list: TSequence[np.ndarray], go: float, ge: float, initial_k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Banded scores + certifying half-widths of many pairs at once.
+
+    The adaptive doubling loop of :func:`_certified_band`, run breadth
+    first: every round groups the still-uncertified pairs by their
+    current half-width (so one padded tensor serves same-width bands
+    with no width padding) and runs each group through one
+    :func:`_banded_forward_batch` pass; pairs whose optimum touched the
+    boundary re-enter the next round with ``k`` doubled, the rest retire
+    with their certified ``(score, k)``.  Every pair sees exactly the
+    scalar loop's sequence of half-widths and bit-identical forward
+    passes, so the results match :func:`_certified_band` pair for pair.
+
+    Falls back to the scalar loop when ``REPRO_KBAND_BATCH=0`` or the
+    batch is too small to amortise the fused pass's fixed cost.
+    """
+    Kn = len(S_list)
+    scores = np.empty(Kn)
+    ks_out = np.empty(Kn, dtype=np.int64)
+    if Kn < _MIN_KBAND_BATCH or not kband_batch_enabled():
+        for t, S in enumerate(S_list):
+            scores[t], ks_out[t] = _certified_band(S, go, ge, initial_k)
+        return scores, ks_out
+
+    ms = np.array([S.shape[0] for S in S_list], dtype=np.int64)
+    ns = np.array([S.shape[1] for S in S_list], dtype=np.int64)
+    kcur = np.maximum(initial_k, np.abs(ns - ms) + 1)
+    pending = list(range(Kn))
+    from repro.align.batchdp import dp_batch_pairs, max_batch_cells_setting
+
+    chunk = max(dp_batch_pairs(), _MIN_KBAND_BATCH)
+    budget = max_batch_cells_setting()
+    while pending:
+        groups: dict = {}
+        for t in pending:
+            groups.setdefault(int(kcur[t]), []).append(t)
+        nxt: List[int] = []
+        for kval, idxs in sorted(groups.items()):
+            # Similar row counts share padded tensors efficiently.
+            idxs.sort(key=lambda t: int(ms[t]))
+            for part in _band_chunks(idxs, ms, ns, kval, chunk, budget):
+                if len(part) < _MIN_KBAND_BATCH:
+                    for t in part:
+                        sc, tch = _banded_forward(S_list[t], go, ge, kval)
+                        _retire_or_double(
+                            t, sc, tch, kval, ms, ns, kcur, scores, ks_out, nxt
+                        )
+                    continue
+                _KBAND_BATCH_CALLS.inc()
+                _KBAND_BATCH_PAIRS.inc(len(part))
+                with span("kband.batch", pairs=len(part), k=kval):
+                    sc_arr, tch_arr = _banded_forward_batch(
+                        [S_list[t] for t in part], go, ge, kval
+                    )
+                for pos, t in enumerate(part):
+                    _retire_or_double(
+                        t,
+                        float(sc_arr[pos]),
+                        bool(tch_arr[pos]),
+                        kval,
+                        ms,
+                        ns,
+                        kcur,
+                        scores,
+                        ks_out,
+                        nxt,
+                    )
+        pending = nxt
+    return scores, ks_out
+
+
+def _band_chunks(idxs, ms, ns, kval, chunk, budget):
+    """Split one width group into padded-tensor-friendly chunks.
+
+    Caps each chunk at ``chunk`` pairs *and* at roughly ``budget``
+    padded band cells (rows x band width x pairs) so the wide final
+    doubling rounds never materialise tensors past the same cell budget
+    the full batched kernel honours.  ``idxs`` arrives sorted by row
+    count, so a chunk's padding waste stays small.
+    """
+    part: List[int] = []
+    mmax = wmax = 0
+    for t in idxs:
+        m = int(ms[t])
+        w = min(2 * kval + 1, int(ns[t]) + 1)
+        new_m = max(mmax, m)
+        new_w = max(wmax, w)
+        if part and (
+            len(part) >= chunk or new_m * new_w * (len(part) + 1) > budget
+        ):
+            yield part
+            part = []
+            new_m, new_w = m, w
+        part.append(t)
+        mmax, wmax = new_m, new_w
+    if part:
+        yield part
+
+
+def _retire_or_double(
+    t, score, touched_t, kval, ms, ns, kcur, scores, ks_out, nxt
+) -> None:
+    """One pair's doubling-loop step: retire certified, else re-queue."""
+    if not touched_t or kval >= max(int(ms[t]), int(ns[t])):
+        scores[t] = score
+        ks_out[t] = kval
+    else:
+        kcur[t] = kval * 2
+        nxt.append(t)
+
+
 def banded_align(
     x: Sequence,
     y: Sequence,
@@ -188,21 +609,23 @@ def banded_align_batch(
     initial_k: int = 16,
     max_batch_cells: Optional[int] = None,
 ) -> List:
-    """Banded alignments of many pairs with one fused traceback DP.
+    """Banded alignments of many pairs, certified and traced back fused.
 
-    Band certification stays per pair (each pair doubles independently),
-    but the masked full-kernel traceback passes -- the expensive O(m*n)
-    part -- run through :func:`repro.align.batchdp.affine_align_batch`,
-    so results are byte-identical to per-pair :func:`banded_align` while
-    the DP dispatch cost is amortised across the batch.
+    Band certification runs through :func:`_certified_band_batch` (each
+    doubling round fuses the banded DPs of every still-uncertified pair;
+    ``REPRO_KBAND_BATCH=0`` restores the per-pair loop) and the masked
+    full-kernel traceback passes run through
+    :func:`repro.align.batchdp.affine_align_batch`, so results are
+    byte-identical to per-pair :func:`banded_align` while both the
+    certification and the traceback DP dispatch costs are amortised
+    across the batch.
     """
     from repro.align.batchdp import affine_align_batch
     from repro.align.pairwise import PairwiseResult
 
     results: List = [None] * len(pairs)
     live: List[int] = []
-    masked_list: List[np.ndarray] = []
-    band_scores: List[float] = []
+    S_live: List[np.ndarray] = []
     for idx, (x, y) in enumerate(pairs):
         S = matrix.pair_scores(x.codes, y.codes).astype(np.float64)
         m, n = S.shape
@@ -210,14 +633,18 @@ def banded_align_batch(
             res = affine_align(S, gaps.open, gaps.extend)
             results[idx] = PairwiseResult(x, y, res.score, res.x_map, res.y_map)
             continue
-        score, k = _certified_band(S, gaps.open, gaps.extend, initial_k)
         live.append(idx)
-        masked_list.append(_band_mask(S, k))
-        band_scores.append(score)
+        S_live.append(S)
+    band_scores, band_ks = _certified_band_batch(
+        S_live, gaps.open, gaps.extend, initial_k
+    )
+    masked_list = [
+        _band_mask(S, int(k)) for S, k in zip(S_live, band_ks)
+    ]
     batch = affine_align_batch(
         masked_list, gaps.open, gaps.extend, max_batch_cells=max_batch_cells
     )
     for idx, score, res in zip(live, band_scores, batch):
         x, y = pairs[idx]
-        results[idx] = PairwiseResult(x, y, score, res.x_map, res.y_map)
+        results[idx] = PairwiseResult(x, y, float(score), res.x_map, res.y_map)
     return results

@@ -17,15 +17,36 @@ always a gap" softened into a cost).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Optional, Sequence as TSequence, Tuple
 
 import numpy as np
 
 from repro.align.dp import AffineDPResult, affine_align, affine_score
 from repro.align.profile import Profile, merge_profiles
+from repro.obs.metrics import registry as _obs_registry
 from repro.obs.tracing import span
 from repro.seq.matrices import BLOSUM62, GapPenalties, SubstitutionMatrix
 
-__all__ = ["ProfileAlignConfig", "profile_score_matrix", "align_profiles", "score_profiles"]
+__all__ = [
+    "ProfileAlignConfig",
+    "profile_score_matrix",
+    "align_profiles",
+    "align_profiles_batch",
+    "score_profiles",
+]
+
+# Batched-merge counters (same idiom as the DP kernels'): calls = level
+# batches, pairs = merges moved through them.  /metrics shows whether
+# progressive merges run level-batched via these.
+_PROFILE_BATCH_CALLS = _obs_registry().counter("dp.profile_batch_calls")
+_PROFILE_BATCH_PAIRS = _obs_registry().counter("dp.profile_batch_pairs")
+
+#: Below this many pairs the fused kernel loses to the scalar one: its
+#: per-row dispatch cost is flat in K, so at K < 4 the extra ops (and
+#: the four decision-plane writes) outweigh the amortisation -- measured
+#: break-even K≈3-4 at merge-profile sizes.  Purely a performance
+#: threshold; both paths are byte-identical.
+_MIN_BATCH_PAIRS = 4
 
 
 @dataclass(frozen=True)
@@ -93,6 +114,63 @@ class ProfileAlignConfig:
         return cls(**kwargs)
 
 
+def _one_hot_codes(profile: Profile):
+    """The residue codes of an exactly one-hot profile, else ``None``.
+
+    A leaf profile (one ungapped row, unreweighted) has one-hot
+    frequency rows, for which the PSP matmuls reduce to row/column
+    gathers of the substitution matrix: every product against a 0.0
+    vanishes and the single 1.0 selects the stored entry, so the gather
+    result equals the matmul result.  The check is exact (``== 1.0`` and
+    an exact row-sum count), so reweighted or merged profiles fall back
+    to the matmul path.
+    """
+    aln = profile.alignment
+    if aln.n_rows != 1:
+        return None
+    codes = aln.matrix[0]
+    m = codes.size
+    freq = profile.frequencies
+    if m == 0 or freq.shape[0] != m:
+        return None
+    if (codes == aln.alphabet.gap_code).any():
+        return None
+    if freq.sum() != float(m):
+        return None
+    if not (freq[np.arange(m), codes] == 1.0).all():
+        return None
+    return codes
+
+
+def _left_product(profile: Profile, M: np.ndarray) -> np.ndarray:
+    """``profile.frequencies @ M``, cached on the profile.
+
+    The left factor of the PSP matmul depends only on one profile, so a
+    caller aligning the same profile against several others (a level
+    batch, the center-star fold-in) should pay for it once.  The cache
+    is keyed by object identity of both the frequency array and ``M``:
+    every code path that changes a profile's frequencies *assigns a new
+    array* (the reweighting paths included), which invalidates the entry
+    for free.  Values are unchanged -- ``Fx @ M @ Fy.T`` already
+    evaluates left to right, so caching the left product reuses the
+    exact same intermediate.
+    """
+    cached = getattr(profile, "_psp_left", None)
+    if (
+        cached is not None
+        and cached[0] is M
+        and cached[1] is profile.frequencies
+    ):
+        return cached[2]
+    codes = _one_hot_codes(profile)
+    if codes is not None:
+        left = M[codes]  # == frequencies @ M for one-hot rows, exactly
+    else:
+        left = profile.frequencies @ M
+    profile._psp_left = (M, profile.frequencies, left)
+    return left
+
+
 def profile_score_matrix(
     px: Profile, py: Profile, config: ProfileAlignConfig
 ) -> np.ndarray:
@@ -100,7 +178,14 @@ def profile_score_matrix(
     if px.alphabet != config.matrix.alphabet or py.alphabet != config.matrix.alphabet:
         raise ValueError("profile alphabets must match the matrix alphabet")
     M = config.matrix.residue_part
-    return px.frequencies @ M @ py.frequencies.T
+    left = _left_product(px, M)
+    codes_y = _one_hot_codes(py)
+    if codes_y is not None:
+        # One-hot right factor: the matmul is exactly a column gather.
+        # ``take`` writes a C-contiguous result, so the DP kernels'
+        # ascontiguousarray pass-through stays a no-op.
+        return left.take(codes_y, axis=1)
+    return left @ py.frequencies.T
 
 
 def align_profiles(
@@ -121,6 +206,73 @@ def align_profiles(
             terminal_factor=config.gaps.terminal_factor,
         )
         return merge_profiles(px, py, res.x_map, res.y_map), res
+
+
+def align_profiles_batch(
+    pairs: TSequence[Tuple[Profile, Profile]],
+    config: ProfileAlignConfig | None = None,
+    max_batch_cells: Optional[int] = None,
+) -> List[Tuple[Profile, AffineDPResult]]:
+    """Optimally align many *independent* profile pairs in fused DP passes.
+
+    The batch analogue of :func:`align_profiles`: each pair's PSP score
+    matrix and occupancy-scaled gap vectors are assembled exactly as the
+    single-pair path assembles them (the per-profile ``frequencies @ M``
+    left product is hoisted and cached, so a profile appearing in
+    several pairs pays for it once), then the pair DPs run through
+    :func:`repro.align.batchdp.affine_align_batch` in
+    ``REPRO_DP_BATCH_PAIRS``-sized chunks -- the same exact kernel the
+    distance stage batches through, so every returned ``(merged profile,
+    DP result)`` is **byte-identical** to per-pair
+    :func:`align_profiles`.  ``REPRO_DP_BATCH_PAIRS=0`` (or ``1``) falls
+    back to the per-pair path outright, as do batches smaller than
+    ``_MIN_BATCH_PAIRS`` (the narrow tail levels of a merge DAG, where
+    the fused kernel's flat per-row cost loses to the scalar one).
+
+    The pairs must be independent (no profile may depend on another
+    pair's output) -- exactly what one level of the merge DAG provides.
+    """
+    config = config or ProfileAlignConfig()
+    pairs = list(pairs)
+    results: List[Tuple[Profile, AffineDPResult]] = []
+    if not pairs:
+        return results
+
+    from repro.align.batchdp import affine_align_batch, dp_batch_pairs
+
+    chunk = dp_batch_pairs()
+    if chunk <= 1 or len(pairs) < _MIN_BATCH_PAIRS:
+        return [align_profiles(px, py, config) for px, py in pairs]
+
+    tf = config.gaps.terminal_factor
+    for t0 in range(0, len(pairs), chunk):
+        part = pairs[t0 : t0 + chunk]
+        _PROFILE_BATCH_CALLS.inc()
+        _PROFILE_BATCH_PAIRS.inc(len(part))
+        with span(
+            "dp.profile_batch",
+            pairs=len(part),
+            cols=sum(px.n_columns + py.n_columns for px, py in part),
+        ):
+            S_list = [
+                profile_score_matrix(px, py, config) for px, py in part
+            ]
+            gaps_x = [config.gap_vectors(px) for px, _py in part]
+            gaps_y = [config.gap_vectors(py) for _px, py in part]
+            res_list = affine_align_batch(
+                S_list,
+                [g[0] for g in gaps_x],
+                [g[1] for g in gaps_x],
+                gap_open_y=[g[0] for g in gaps_y],
+                gap_extend_y=[g[1] for g in gaps_y],
+                terminal_factor=tf,
+                max_batch_cells=max_batch_cells,
+            )
+            for (px, py), res in zip(part, res_list):
+                results.append(
+                    (merge_profiles(px, py, res.x_map, res.y_map), res)
+                )
+    return results
 
 
 def score_profiles(

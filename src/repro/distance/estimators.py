@@ -334,6 +334,13 @@ class KbandDistance(DistanceEstimator):
     Band doubling certifies the banded optimum equals the full-DP
     optimum, so identities typically match ``full-dp`` at a fraction of
     the DP area for similar sequences (MUSCLE's pairwise trick).
+
+    When the batched kernels are enabled both halves of the work run
+    fused across each chunk's pairs: band certification through
+    :func:`repro.align.kband._certified_band_batch` (bit-identical
+    scores and doubling decisions; ``REPRO_KBAND_BATCH=0`` restores the
+    per-pair loop) and the masked traceback DPs through
+    :func:`repro.align.batchdp.affine_align_batch`.
     """
 
     matrix: SubstitutionMatrix = field(default=BLOSUM62, repr=False)
@@ -361,9 +368,10 @@ class KbandDistance(DistanceEstimator):
         out = np.empty(len(ii), dtype=np.float64)
         chunk = dp_batch_pairs()
         if chunk > 1:
-            # Band certification stays per pair; the masked traceback
-            # DPs -- the expensive part -- run through the batched
-            # kernel (identical values, K-fold less dispatch).
+            # Both the band certification (fused adaptive doubling,
+            # see kband._certified_band_batch) and the masked traceback
+            # DPs run batched over the chunk -- identical values,
+            # K-fold less dispatch on both halves.
             for t0 in range(0, len(ii), chunk):
                 pairs = [
                     (seqs[int(a)], seqs[int(b)])

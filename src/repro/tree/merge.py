@@ -14,11 +14,22 @@ profiles up the guide tree by executing the
   profiles, which is how a rank-parallel baseline can lift its
   sequential stage-3 Amdahl cap through this same subsystem).
 
+Level batching: a ``merge_node`` may advertise ``supports_level_batch``
+plus a ``merge_level(steps, pairs)`` method (the default
+:class:`~repro.align.progressive._MergeNode` does, routing through
+:func:`~repro.align.profile_align.align_profiles_batch`).  The executor
+then hands each level's independent merges -- or, under a backend/comm,
+each rank's share of a level -- to one batched call, so the
+profile-profile DPs of a whole level run through the fused batched
+kernel instead of one numpy-dispatch-bound DP per merge.  The batched
+kernel is byte-identical to the per-pair one, so this is purely a
+performance path; ``REPRO_DP_BATCH_PAIRS=0`` restores per-node merges.
+
 Determinism contract: a merge's output depends only on its two child
 profiles and the ``merge_node`` callable (which must itself be
 deterministic), and every internal node is computed exactly once -- so
 serial, threads, processes, pool and cooperative schedules produce
-**byte-identical** alignments for any level assignment.
+**byte-identical** alignments for any level assignment, batched or not.
 """
 
 from __future__ import annotations
@@ -69,6 +80,40 @@ def _unpack(packed: tuple) -> Profile:
     return prof
 
 
+def _level_batch_wanted(merge_node: MergeNode) -> bool:
+    """True when the node advertises (and currently enables) batching."""
+    return bool(getattr(merge_node, "supports_level_batch", False)) and (
+        callable(getattr(merge_node, "merge_level", None))
+    )
+
+
+def _merge_steps(
+    table: Dict[int, Profile],
+    tree: GuideTree,
+    steps: List[int],
+    merge_node: MergeNode,
+    batch: bool,
+) -> Dict[int, Profile]:
+    """Run one set of independent merges, batched when supported.
+
+    The batched path hands every (step, children) pair to the node's
+    ``merge_level`` in one call (one ``tree.merge_level`` span covering
+    the fused DPs); the per-node path keeps the classic
+    ``tree.merge_node`` span per step.  Results are byte-identical
+    either way -- the batched kernel is exact.
+    """
+    if batch and len(steps) > 0:
+        pairs = [_children(table, tree, step) for step in steps]
+        with span("tree.merge_level", merges=len(steps)):
+            merged = merge_node.merge_level(steps, pairs)
+        return dict(zip(steps, merged))
+    out: Dict[int, Profile] = {}
+    for step in steps:
+        with span("tree.merge_node", step=step):
+            out[step] = merge_node(step, *_children(table, tree, step))
+    return out
+
+
 def _run_levels(
     comm: Optional[Any],
     profiles: List[Profile],
@@ -81,23 +126,27 @@ def _run_levels(
     All ranks keep the full node->profile table in sync (the per-level
     allgather), so any rank can serve any merge of the next level;
     consumed children are dropped level by level to bound memory.
+    Within a level (or a rank's cyclic share of one) the merges are
+    independent by construction, so they batch through the node's
+    ``merge_level`` when it advertises support.
     """
     n = tree.n_leaves
+    batch = _level_batch_wanted(merge_node)
     table: Dict[int, Profile] = dict(enumerate(profiles))
     for level in levels:
         if comm is None or comm.size == 1:
-            for step in level:
-                with span("tree.merge_node", step=step):
-                    table[n + step] = merge_node(
-                        step, *_children(table, tree, step)
-                    )
+            done = _merge_steps(
+                table, tree, list(level), merge_node, batch
+            )
+            for step, prof in done.items():
+                table[n + step] = prof
         else:
-            mine = {}
-            for pos, step in enumerate(level):
-                if pos % comm.size != comm.rank:
-                    continue
-                with span("tree.merge_node", step=step):
-                    mine[step] = merge_node(step, *_children(table, tree, step))
+            share = [
+                step
+                for pos, step in enumerate(level)
+                if pos % comm.size == comm.rank
+            ]
+            mine = _merge_steps(table, tree, share, merge_node, batch)
             gathered = comm.allgather(
                 [(step, _pack(prof)) for step, prof in mine.items()]
             )
@@ -193,6 +242,16 @@ def progressive_merge(
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     if backend is None and workers in (None, 1):
+        if _level_batch_wanted(merge_node):
+            # Level-batched serial walk: the schedule's levels are sets
+            # of independent merges, exactly the batch the fused DP
+            # kernel consumes.  Byte-identical to the post-order walk
+            # (each node still computed once, from the same children).
+            with span("tree.merge", n_leaves=tree.n_leaves, mode="serial"):
+                schedule = merge_schedule(tree)
+                return _run_levels(
+                    None, profiles, tree, schedule.levels, merge_node
+                )
         # The classic serial post-order walk: the merge list itself is a
         # valid topological order, so no schedule is needed.
         with span("tree.merge", n_leaves=tree.n_leaves, mode="serial"):

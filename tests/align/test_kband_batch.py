@@ -1,0 +1,205 @@
+"""Batched k-band certification is bit-identical to the scalar loop.
+
+PR 9's second tentpole half: ``_banded_forward_batch`` fuses the banded
+forward recurrence of many pairs into one padded pass, and
+``_certified_band_batch`` runs the adaptive doubling breadth-first over
+it.  Exactness here is *bit*-level, not tolerance-level: the driver
+feeds on the touched-boundary flags, so any drift in a dead cell or a
+reassociated sum changes certified band widths, not just scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.dp import affine_score
+from repro.align.kband import (
+    _band_chunks,
+    _banded_forward,
+    _banded_forward_batch,
+    _certified_band,
+    _certified_band_batch,
+    banded_align,
+    banded_align_batch,
+    kband_batch_enabled,
+    kband_global_score,
+    kband_global_score_batch,
+)
+from repro.datagen.rose import generate_family
+from repro.seq.sequence import Sequence
+
+
+def _random_batch(rng, count, max_side=40):
+    mats = []
+    for _ in range(count):
+        m, n = rng.integers(1, max_side, 2)
+        mats.append(rng.normal(0, 3, (int(m), int(n))))
+    return mats
+
+
+class TestBandedForwardBatch:
+    @given(st.integers(0, 2**32 - 1))
+    def test_bit_identical_to_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        mats = _random_batch(rng, int(rng.integers(2, 8)))
+        go, ge = rng.uniform(1, 8), rng.uniform(0, 0.5)
+        k = int(rng.integers(1, 40))
+        scores, touched = _banded_forward_batch(mats, go, ge, k)
+        for S, score, flag in zip(mats, scores, touched):
+            ref_score, ref_flag = _banded_forward(S, go, ge, k)
+            assert score == ref_score  # bitwise, not isclose
+            assert bool(flag) == ref_flag
+
+    def test_mixed_shapes_share_one_pass(self):
+        # Strongly heterogeneous geometry: slopes above and below 1,
+        # single-row and single-column matrices in the same batch.
+        rng = np.random.default_rng(11)
+        mats = [
+            rng.normal(0, 2, shape)
+            for shape in [(1, 30), (30, 1), (5, 40), (40, 5), (17, 17)]
+        ]
+        scores, touched = _banded_forward_batch(mats, 4.0, 0.25, 3)
+        for S, score, flag in zip(mats, scores, touched):
+            ref_score, ref_flag = _banded_forward(S, 4.0, 0.25, 3)
+            assert score == ref_score
+            assert bool(flag) == ref_flag
+
+    def test_wide_band_covers_matrix(self):
+        # k >= max(m, n) triggers the straight-copy SB fast path and
+        # must equal the unbanded optimum.
+        rng = np.random.default_rng(23)
+        mats = _random_batch(rng, 5, max_side=25)
+        scores, touched = _banded_forward_batch(mats, 5.0, 0.3, 64)
+        for S, score in zip(mats, scores):
+            assert np.isclose(score, affine_score(S, 5.0, 0.3))
+        assert not touched.any()
+
+
+class TestCertifiedBandBatch:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15)
+    def test_scores_and_widths_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        mats = _random_batch(rng, int(rng.integers(2, 7)))
+        go, ge = rng.uniform(1, 8), rng.uniform(0, 0.5)
+        k0 = int(rng.integers(1, 12))
+        scores, ks = _certified_band_batch(mats, go, ge, k0)
+        for S, score, k in zip(mats, scores, ks):
+            ref_score, ref_k = _certified_band(S, go, ge, k0)
+            assert score == ref_score
+            assert int(k) == ref_k
+
+    def test_single_pair_falls_back_to_scalar(self):
+        rng = np.random.default_rng(3)
+        S = rng.normal(0, 2, (20, 24))
+        scores, ks = _certified_band_batch([S], 4.0, 0.2, 4)
+        ref_score, ref_k = _certified_band(S, 4.0, 0.2, 4)
+        assert scores[0] == ref_score and int(ks[0]) == ref_k
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KBAND_BATCH", "0")
+        assert not kband_batch_enabled()
+        rng = np.random.default_rng(9)
+        mats = _random_batch(rng, 4)
+        scores, ks = _certified_band_batch(mats, 5.0, 0.3, 8)
+        monkeypatch.setenv("REPRO_KBAND_BATCH", "1")
+        assert kband_batch_enabled()
+        scores2, ks2 = _certified_band_batch(mats, 5.0, 0.3, 8)
+        assert np.array_equal(scores, scores2)
+        assert np.array_equal(ks, ks2)
+
+    def test_counters_and_span(self):
+        from repro.obs.metrics import registry
+        from repro.obs.tracing import (
+            disable_tracing,
+            drain_spans,
+            enable_tracing,
+        )
+
+        rng = np.random.default_rng(17)
+        mats = _random_batch(rng, 6, max_side=30)
+        calls = registry().counter("kband.batch_calls")
+        pairs = registry().counter("kband.batch_pairs")
+        c0, p0 = calls.value, pairs.value
+        drain_spans()
+        enable_tracing()
+        try:
+            _certified_band_batch(mats, 5.0, 0.3, 8)
+        finally:
+            disable_tracing()
+        spans = [r for r in drain_spans() if r.name == "kband.batch"]
+        assert spans, "fused certification rounds must be traced"
+        assert calls.value > c0
+        assert pairs.value - p0 >= len(mats)
+        for rec in spans:
+            assert rec.attrs["pairs"] >= 2
+            assert rec.attrs["k"] >= 1
+
+
+class TestBandChunks:
+    def test_respects_pair_cap(self):
+        ms = np.full(10, 20)
+        ns = np.full(10, 20)
+        parts = list(_band_chunks(list(range(10)), ms, ns, 4, 3, 10**9))
+        assert [len(p) for p in parts] == [3, 3, 3, 1]
+        assert sorted(t for p in parts for t in p) == list(range(10))
+
+    def test_respects_cell_budget(self):
+        # Each pair is 100 rows x full width; a tight budget forces
+        # small chunks even though the pair cap would allow one chunk.
+        ms = np.full(8, 100)
+        ns = np.full(8, 100)
+        budget = 100 * 101 * 2  # two pairs' worth of padded cells
+        parts = list(_band_chunks(list(range(8)), ms, ns, 64, 128, budget))
+        assert all(len(p) <= 2 for p in parts)
+        assert sorted(t for p in parts for t in p) == list(range(8))
+
+
+class TestPublicBatchApis:
+    def test_kband_global_score_batch_matches_per_pair(self):
+        rng = np.random.default_rng(31)
+        mats = _random_batch(rng, 6)
+        # Interleave empty matrices with live ones.
+        mats[2] = np.empty((0, 5))
+        mats[4] = np.empty((7, 0))
+        out = kband_global_score_batch(mats, 5.0, 0.3, initial_k=4)
+        for S, score in zip(mats, out):
+            assert score == kband_global_score(S, 5.0, 0.3, initial_k=4)
+
+    def test_banded_align_batch_matches_per_pair(self):
+        fam = generate_family(8, 80, relatedness=250, seed=13,
+                              track_alignment=False)
+        seqs = list(fam.sequences)
+        pairs = [(seqs[i], seqs[i + 1]) for i in range(0, 8, 2)]
+        pairs.append((seqs[0], Sequence("empty", "")))
+        batch = banded_align_batch(pairs)
+        for (x, y), res in zip(pairs, batch):
+            ref = banded_align(x, y)
+            assert res.score == ref.score
+            assert np.array_equal(res.x_map, ref.x_map)
+            assert np.array_equal(res.y_map, ref.y_map)
+
+    def test_banded_align_batch_env_off_identical(self, monkeypatch):
+        fam = generate_family(6, 60, relatedness=200, seed=29,
+                              track_alignment=False)
+        seqs = list(fam.sequences)
+        pairs = [(seqs[i], seqs[i + 1]) for i in range(0, 6, 2)]
+        on = banded_align_batch(pairs)
+        monkeypatch.setenv("REPRO_KBAND_BATCH", "0")
+        off = banded_align_batch(pairs)
+        for a, b in zip(on, off):
+            assert a.score == b.score
+            assert np.array_equal(a.x_map, b.x_map)
+            assert np.array_equal(a.y_map, b.y_map)
+
+    def test_estimator_matrix_identical_batch_on_off(self, monkeypatch):
+        from repro.distance import all_pairs
+
+        fam = generate_family(7, 70, relatedness=220, seed=41,
+                              track_alignment=False)
+        seqs = list(fam.sequences)
+        d_on = all_pairs(seqs, "kband")
+        monkeypatch.setenv("REPRO_KBAND_BATCH", "0")
+        d_off = all_pairs(seqs, "kband")
+        assert np.array_equal(d_on, d_off)

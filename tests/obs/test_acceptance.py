@@ -29,7 +29,10 @@ REQUIRED_STAGES = {
     "distance.all_pairs",
     "tree.build",
     "tree.merge",
-    "tree.merge_node",
+    # The serial walk is level-batched by default (PR 9): merges are
+    # grouped per DAG level under tree.merge_level spans; levels too
+    # narrow for the fused kernel still emit per-pair DP spans inside.
+    "tree.merge_level",
     "dp.profile_align",
 }
 
@@ -84,7 +87,7 @@ class TestPipelineCoverage:
         assert stages["service.execute"][1] is None
         assert stages["engine.align"][1]["stage"] == "service.execute"
         assert stages["distance.all_pairs"][1]["stage"] == "engine.align"
-        assert stages["dp.profile_align"][1]["stage"] == "tree.merge_node"
+        assert stages["dp.profile_align"][1]["stage"] == "tree.merge_level"
 
     def test_children_account_for_parent_time(self, traced_run):
         _, records = traced_run
