@@ -135,6 +135,23 @@ def build_parser() -> argparse.ArgumentParser:
         "to the serial stage). Guide-tree engines only.",
     )
     p_align.add_argument(
+        "--distance-out",
+        default=None,
+        choices=["memory", "condensed", "memmap"],
+        help="distance-matrix placement: 'memory' (dense), 'condensed' "
+        "(flat upper triangle, half the RAM; the default) or 'memmap' "
+        "(disk-backed tile store -- O(tile) resident memory at genome "
+        "scale). Byte-identical values. Guide-tree engines only.",
+    )
+    p_align.add_argument(
+        "--distance-store-dir",
+        default=None,
+        metavar="DIR",
+        help="tile-store directory for --distance-out memmap (default: "
+        "a fresh temporary store; a fixed DIR makes the distance stage "
+        "resumable across runs)",
+    )
+    p_align.add_argument(
         "--tree",
         default=None,
         metavar="NAME",
@@ -227,8 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler ranks (default: host core count)",
     )
     p_dist.add_argument(
+        "--out", default=None,
+        choices=["memory", "condensed", "memmap"],
+        help="result placement: 'memory' (dense), 'condensed' (flat "
+        "upper triangle; the default) or 'memmap' (disk-backed tile "
+        "store, O(tile) resident memory). Values are byte-identical.",
+    )
+    p_dist.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="tile-store directory for --out memmap (default: a fresh "
+        "temporary store; a fixed DIR resumes: valid tiles are skipped "
+        "on re-run)",
+    )
+    p_dist.add_argument(
         "-o", "--output", metavar="FILE",
-        help="write the full matrix as TSV (ids in header and first column)",
+        help="write the full matrix as TSV, streamed row by row "
+        "(ids in header and first column)",
     )
     p_dist.add_argument(
         "--json",
@@ -259,6 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", default="ktuple", metavar="NAME",
         help="distance estimator feeding the builder (see `repro "
         "distances`)",
+    )
+    p_tree.add_argument(
+        "--anchors", type=int, default=None, metavar="K",
+        help="anchor count for --builder anchor (the O(K*N) sampled "
+        "guide tree; the distance stage computes only the K anchor "
+        "rows, never the full matrix)",
+    )
+    p_tree.add_argument(
+        "--anchor-base", default=None, metavar="NAME",
+        help="exact builder run over the anchors (--builder anchor "
+        "only; default upgma)",
+    )
+    p_tree.add_argument(
+        "--anchor-seed", type=int, default=None,
+        help="anchor-sampling seed (--builder anchor only; default 0)",
     )
     p_tree.add_argument(
         "--from-newick", action="store_true",
@@ -379,6 +425,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="default execution backend for those requests' all-pairs "
         "distance stage ('threads', 'processes' or 'pool')",
+    )
+    p_serve.add_argument(
+        "--distance-out",
+        default=None,
+        choices=["memory", "condensed", "memmap"],
+        help="default distance-matrix placement folded into guide-tree "
+        "engine requests that don't choose one (pre-hash); 'memmap' "
+        "bounds the gateway's resident memory via the disk-backed "
+        "tile store",
+    )
+    p_serve.add_argument(
+        "--distance-store-dir",
+        default=None,
+        metavar="DIR",
+        help="tile-store directory for --distance-out memmap "
+        "(default: fresh temporary stores)",
     )
     p_serve.add_argument(
         "--tree",
@@ -583,10 +645,24 @@ def _cmd_align(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
                     return 2
+            if args.distance_store_dir is not None:
+                # One fixed store dir shared by many per-bucket distance
+                # stages would thrash (each bucket's header evicts the
+                # previous bucket's tiles).
+                print(
+                    "error: --distance-store-dir does not apply to "
+                    "sample-align-d (each bucket runs its own distance "
+                    "stage; a shared tile store would thrash)",
+                    file=sys.stderr,
+                )
+                return 2
             local_kwargs = {}
             for opt, value, options_of, what in (
                 ("distance", args.distance, engine_distance_options,
                  "distance estimator (no guide-tree distance stage)"),
+                ("distance_out", args.distance_out,
+                 engine_distance_options,
+                 "distance placement (no guide-tree distance stage)"),
                 ("tree", args.tree, engine_tree_options,
                  "tree builder (no guide-tree stage)"),
             ):
@@ -619,6 +695,8 @@ def _cmd_align(args: argparse.Namespace) -> int:
                 ("distance", engine_distance_options, (
                     ("distance", args.distance),
                     ("distance_backend", args.distance_backend),
+                    ("distance_out", args.distance_out),
+                    ("distance_store_dir", args.distance_store_dir),
                 )),
                 ("tree", engine_tree_options, (
                     ("tree", args.tree),
@@ -852,6 +930,8 @@ def _cmd_distances(args: argparse.Namespace) -> int:
 
     from repro.seq.fasta import read_fasta
 
+    from repro.distance import CondensedMatrix
+
     seqs = read_fasta(args.input)
     try:
         config = DistanceConfig(
@@ -860,6 +940,8 @@ def _cmd_distances(args: argparse.Namespace) -> int:
             transform=args.transform,
             backend=args.backend,
             workers=args.workers,
+            out=args.out,
+            store_dir=args.store_dir,
         )
         t0 = time.perf_counter()
         d = all_pairs(
@@ -867,6 +949,8 @@ def _cmd_distances(args: argparse.Namespace) -> int:
             config.make_estimator(),
             backend=config.backend,
             workers=config.workers,
+            out=config.out or "condensed",
+            store_dir=config.store_dir,
         )
         wall = time.perf_counter() - t0
     except (KeyError, ValueError) as exc:
@@ -875,25 +959,38 @@ def _cmd_distances(args: argparse.Namespace) -> int:
         return 2
 
     n = d.shape[0]
-    off = d[np.triu_indices(n, k=1)]
+    if isinstance(d, CondensedMatrix):
+        # Streamed over the condensed vector (memmap-safe: O(chunk) RAM).
+        s = d.offdiag_stats()
+        n_pairs = d.condensed.size
+        dmin, dmean, dmax = s["min"], s["mean"], s["max"]
+    else:
+        off = d[np.triu_indices(n, k=1)]
+        n_pairs = off.size
+        dmin, dmean, dmax = off.min(), off.mean(), off.max()
     stats = {
         "input": args.input,
         "n_sequences": n,
-        "n_pairs": int(off.size),
+        "n_pairs": int(n_pairs),
         "estimator": config.estimator,
         "transform": config.transform,
         "backend": config.backend,
         "workers": config.workers,
+        "out": config.out or "condensed",
+        "store_dir": config.store_dir,
         "wall_s": wall,
-        "min": float(off.min()),
-        "mean": float(off.mean()),
-        "max": float(off.max()),
+        "min": float(dmin),
+        "mean": float(dmean),
+        "max": float(dmax),
     }
     if args.output:
+        # Row-by-row streaming: one gathered/dense row resident at a
+        # time, so genome-scale exports never balloon RSS.
         ids = [s.id for s in seqs]
         with open(args.output, "w", encoding="ascii") as fh:
             fh.write("\t".join(["id"] + ids) + "\n")
-            for i, row in enumerate(d):
+            for i in range(n):
+                row = d.row(i) if isinstance(d, CondensedMatrix) else d[i]
                 fh.write(
                     "\t".join([ids[i]] + [f"{v:.6f}" for v in row]) + "\n"
                 )
@@ -901,9 +998,10 @@ def _cmd_distances(args: argparse.Namespace) -> int:
         _emit_json(stats, args.json)
         return 0
     print(
-        f"{config.estimator} distances: N={n} pairs={off.size} "
+        f"{config.estimator} distances: N={n} pairs={n_pairs} "
         f"wall={wall:.3f}s "
-        f"(backend={config.backend or 'serial'})"
+        f"(backend={config.backend or 'serial'}, "
+        f"out={config.out or 'condensed'})"
     )
     print(
         f"off-diagonal: min={stats['min']:.4f} mean={stats['mean']:.4f} "
@@ -954,11 +1052,33 @@ def _cmd_trees(args: argparse.Namespace) -> int:
             from repro.seq.fasta import read_fasta
 
             seqs = read_fasta(args.input)
-            builder = get_builder(args.builder)
+            builder_kwargs = {}
+            if args.anchors is not None:
+                builder_kwargs["anchors"] = args.anchors
+            if args.anchor_base is not None:
+                builder_kwargs["base"] = args.anchor_base
+            if args.anchor_seed is not None:
+                builder_kwargs["seed"] = args.anchor_seed
+            builder = get_builder(args.builder, **builder_kwargs)
             builder_name, estimator = builder.name, args.estimator
+            ids = [s.id for s in seqs]
             t0 = time.perf_counter()
-            d = all_pairs(list(seqs), args.estimator)
-            tree = builder.build(d, [s.id for s in seqs])
+            if builder.name == "anchor":
+                # The O(K*N) path: compute only the K anchor rows, never
+                # the full all-pairs matrix.
+                from repro.tree import anchor_guide_tree
+
+                tree = anchor_guide_tree(
+                    list(seqs),
+                    args.estimator,
+                    anchors=builder.anchors,
+                    base=builder.base,
+                    seed=builder.seed,
+                    labels=ids,
+                )
+            else:
+                d = all_pairs(list(seqs), args.estimator, out="condensed")
+                tree = builder.build(d, ids)
             wall = time.perf_counter() - t0
         schedule = merge_schedule(tree)
     except (KeyError, ValueError, OSError) as exc:
@@ -1180,6 +1300,8 @@ def _build_gateway(args: argparse.Namespace):
         default_backend=getattr(args, "backend", None),
         default_distance=getattr(args, "distance", None),
         default_distance_backend=getattr(args, "distance_backend", None),
+        default_distance_out=getattr(args, "distance_out", None),
+        default_distance_store_dir=getattr(args, "distance_store_dir", None),
         default_tree=getattr(args, "tree", None),
         default_tree_backend=getattr(args, "tree_backend", None),
     )

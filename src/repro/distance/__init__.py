@@ -17,7 +17,12 @@ computed serially through three overlapping code paths
   scheduler that runs the condensed upper triangle serially, on the
   execution backends (``backend="threads"|"processes"|"pool"``, ``workers=N``),
   or cooperatively inside an existing SPMD program (``comm=``) --
-  always producing byte-identical matrices.
+  always producing byte-identical matrices, placed in RAM (dense or
+  condensed) or on disk (``out="memmap"``).
+- :mod:`~repro.distance.tilestore` -- the external-memory layer:
+  :class:`TileStore` (atomic, resumable, corruption-tolerant per-tile
+  files) and :class:`CondensedMatrix` (matrix reads over the condensed
+  vector -- in RAM or memmap -- with O(gather) working memory).
 - :mod:`~repro.distance.config` -- :class:`DistanceConfig`, the
   validated, dict-round-trippable form that travels through
   ``engine_kwargs`` and baseline configs.
@@ -31,6 +36,7 @@ them on real cores.
 
 from repro.distance.allpairs import (
     DEFAULT_TILE_PAIRS,
+    OUT_MODES,
     all_pairs,
     condensed_pair_indices,
 )
@@ -53,6 +59,13 @@ from repro.distance.estimators import (
     register_estimator,
     unregister_estimator,
 )
+from repro.distance.tilestore import (
+    CondensedMatrix,
+    TileStore,
+    condensed_index,
+    condensed_size,
+    condensed_tile_indices,
+)
 from repro.distance.transforms import (
     TRANSFORMS,
     alignment_identity_matrix,
@@ -64,17 +77,23 @@ from repro.distance.transforms import (
 __all__ = [
     "DEFAULT_ESTIMATOR",
     "DEFAULT_TILE_PAIRS",
+    "CondensedMatrix",
     "DistanceConfig",
     "DistanceEstimator",
     "FullDpDistance",
     "KbandDistance",
     "KmerFractionDistance",
     "KtupleDistance",
+    "OUT_MODES",
     "TRANSFORMS",
+    "TileStore",
     "alignment_identity_matrix",
     "all_pairs",
     "available_estimators",
+    "condensed_index",
     "condensed_pair_indices",
+    "condensed_size",
+    "condensed_tile_indices",
     "estimator_info",
     "fractional_identity_estimate",
     "get_estimator",

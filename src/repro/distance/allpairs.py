@@ -13,29 +13,61 @@ into chunks and executing the chunks
   stage-parallel CLUSTALW baseline runs its distance stage through this
   same subsystem).
 
+The **output placement** is independent of the schedule (``out=``):
+
+- ``"memory"`` -- the historical dense ``(n, n)`` ndarray;
+- ``"condensed"`` -- a :class:`~repro.distance.tilestore.CondensedMatrix`
+  over the in-RAM condensed vector (half the dense footprint; the tree
+  builders consume it natively);
+- ``"memmap"`` -- the external-memory path: workers write tiles into a
+  :class:`~repro.distance.tilestore.TileStore` under ``store_dir`` and
+  return tile *ids* instead of payloads (O(1) transport per tile), the
+  driver consolidates them into a disk-backed condensed vector, and the
+  result is a memmap-backed ``CondensedMatrix`` with O(tile) resident
+  memory end to end.  Already-present valid tiles are skipped on re-run
+  (crash/resume), and a fully consolidated store returns immediately.
+
 Determinism contract: a pair's value depends only on the two sequences
 and the estimator (see :class:`~repro.distance.estimators
 .DistanceEstimator`), and every pair is computed and written exactly
 once -- so serial, threads, processes and pool schedules produce
-**byte-identical** matrices for any tiling.
+**byte-identical** values for any tiling, and the ``memmap`` condensed
+vector is byte-identical to the in-RAM one by construction.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
+import tempfile
 from typing import Any, List, Optional, Sequence as TSequence, Tuple, Union
 
 import numpy as np
 
 from repro.distance.estimators import DistanceEstimator, get_estimator
+from repro.distance.tilestore import (
+    CondensedMatrix,
+    TileStore,
+    condensed_size,
+    condensed_tile_indices,
+)
 from repro.obs.tracing import span
 from repro.seq.sequence import Sequence
 
-__all__ = ["DEFAULT_TILE_PAIRS", "all_pairs", "condensed_pair_indices"]
+__all__ = [
+    "DEFAULT_TILE_PAIRS",
+    "OUT_MODES",
+    "all_pairs",
+    "condensed_pair_indices",
+]
 
 #: Default pairs per tile; small enough to balance, large enough to
 #: amortise per-tile numpy dispatch.
 DEFAULT_TILE_PAIRS = 4096
+
+#: Valid ``out=`` placements of the result matrix.
+OUT_MODES = ("memory", "condensed", "memmap")
 
 
 def _validate_seqs(seqs: TSequence[Sequence]) -> List[Sequence]:
@@ -73,32 +105,60 @@ def _tile_bounds(
     several tiles (cyclic assignment then load-balances uneven per-pair
     costs); tiling never changes values, only scheduling.
     """
+    tile = _effective_tile(n_pairs, tile_pairs, workers)
+    return [(s, min(s + tile, n_pairs)) for s in range(0, n_pairs, tile)]
+
+
+def _effective_tile(n_pairs: int, tile_pairs: int, workers: int) -> int:
     tile = max(1, int(tile_pairs))
     if workers > 1:
         tile = max(1, min(tile, -(-n_pairs // (4 * workers))))
-    return [(s, min(s + tile, n_pairs)) for s in range(0, n_pairs, tile)]
+    return tile
 
 
 def _compute_tiles(
     seqs: List[Sequence],
     estimator: DistanceEstimator,
     bounds: TSequence[Tuple[int, int]],
-    ii: np.ndarray,
-    jj: np.ndarray,
+    n: int,
     state: Any,
 ) -> List[Tuple[int, np.ndarray]]:
+    """Compute tile values; per-tile indices are derived arithmetically
+    so no caller ever materializes the full ``np.triu_indices`` arrays
+    (3.2 GB of int64 at N=20,000)."""
     out = []
     for a, b in bounds:
         with span("distance.tile", start=a, pairs=b - a):
-            out.append((a, estimator.pair_distances(seqs, ii[a:b], jj[a:b], state)))
+            ii, jj = condensed_tile_indices(n, a, b)
+            out.append((a, estimator.pair_distances(seqs, ii, jj, state)))
     return out
 
 
-def _merge(
+def _write_tiles(
+    seqs: List[Sequence],
+    estimator: DistanceEstimator,
+    bounds: TSequence[Tuple[int, int]],
     n: int,
-    ii: np.ndarray,
-    jj: np.ndarray,
-    parts: TSequence[Tuple[int, np.ndarray]],
+    state: Any,
+    store: TileStore,
+) -> List[Tuple[int, int]]:
+    """Compute tiles and publish them to ``store``; return their ids.
+
+    The external-memory analogue of :func:`_compute_tiles`: payloads go
+    to disk where they were computed, only ``(start, stop)`` ids travel
+    back to the driver.
+    """
+    ids = []
+    for a, b in bounds:
+        with span("distance.tile", start=a, pairs=b - a):
+            ii, jj = condensed_tile_indices(n, a, b)
+            store.write_tile(a, estimator.pair_distances(seqs, ii, jj, state))
+        ids.append((a, b))
+    return ids
+
+
+def _merge_dense(
+    n: int, parts: TSequence[Tuple[int, np.ndarray]]
 ) -> np.ndarray:
     """Scatter per-tile values into the symmetric matrix (zero diagonal).
 
@@ -107,22 +167,76 @@ def _merge(
     """
     d = np.zeros((n, n), dtype=np.float64)
     for start, vals in parts:
-        sl = slice(start, start + len(vals))
-        d[ii[sl], jj[sl]] = vals
-        d[jj[sl], ii[sl]] = vals
+        ii, jj = condensed_tile_indices(n, start, start + len(vals))
+        d[ii, jj] = vals
+        d[jj, ii] = vals
     return d
+
+
+def _merge_condensed(
+    n: int, parts: TSequence[Tuple[int, np.ndarray]]
+) -> CondensedMatrix:
+    """Place per-tile values into the in-RAM condensed vector."""
+    vec = np.zeros(condensed_size(n), dtype=np.float64)
+    for start, vals in parts:
+        vec[start : start + len(vals)] = vals
+    return CondensedMatrix(vec, n)
+
+
+def _merge_out(n: int, parts, out: str):
+    if out == "condensed":
+        return _merge_condensed(n, parts)
+    return _merge_dense(n, parts)
 
 
 def _all_pairs_rank(comm, seqs, estimator, tile_pairs):
     """Rank program of the backend-scheduled mode (module-level so the
     ``processes`` backend can pickle it under spawn/forkserver)."""
     n = len(seqs)
-    ii, jj = condensed_pair_indices(n)
-    bounds = _tile_bounds(len(ii), tile_pairs, comm.size)
+    n_pairs = condensed_size(n)
+    bounds = _tile_bounds(n_pairs, tile_pairs, comm.size)
     state = estimator.prepare(seqs)
     return _compute_tiles(
-        seqs, estimator, bounds[comm.rank :: comm.size], ii, jj, state
+        seqs, estimator, bounds[comm.rank :: comm.size], n, state
     )
+
+
+def _all_pairs_rank_store(comm, seqs, estimator, missing, store_dir):
+    """Rank program of the backend-scheduled external-memory mode: write
+    this rank's share of the missing tiles into the store, return ids."""
+    state = estimator.prepare(seqs)
+    store = TileStore(store_dir)
+    return _write_tiles(
+        seqs, estimator, missing[comm.rank :: comm.size],
+        len(seqs), state, store,
+    )
+
+
+def _estimator_signature(estimator: DistanceEstimator) -> str:
+    """A content hash binding a store to its estimator configuration.
+
+    Estimators are small frozen dataclasses, so their pickle bytes are a
+    stable function of their configuration (including substitution
+    matrices); unpicklable plug-ins fall back to ``repr``.
+    """
+    try:
+        blob = pickle.dumps(estimator, protocol=4)
+    except Exception:
+        blob = repr(estimator).encode("utf-8", "replace")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _store_header(
+    n: int, est: DistanceEstimator, tile: int
+) -> dict:
+    return {
+        "version": 1,
+        "n": n,
+        "n_pairs": condensed_size(n),
+        "tile_pairs": tile,
+        "estimator": getattr(est, "name", type(est).__name__),
+        "signature": _estimator_signature(est),
+    }
 
 
 def all_pairs(
@@ -134,8 +248,11 @@ def all_pairs(
     comm: Optional[Any] = None,
     tile_pairs: int = DEFAULT_TILE_PAIRS,
     cost_model: Optional[Any] = None,
+    out: str = "memory",
+    store_dir: Optional[Union[str, os.PathLike]] = None,
+    keep_store_tiles: bool = False,
     **estimator_kwargs: Any,
-) -> np.ndarray:
+) -> Union[np.ndarray, CondensedMatrix]:
     """All-pairs distance matrix of ``seqs`` under ``estimator``.
 
     Parameters
@@ -165,18 +282,38 @@ def all_pairs(
         Pairs per tile (scheduling granularity; never affects values).
     cost_model:
         Alpha-beta model forwarded to the backend's timing ledger.
+    out:
+        Result placement: ``"memory"`` (dense ndarray, the default),
+        ``"condensed"`` (in-RAM :class:`CondensedMatrix`, half the dense
+        footprint) or ``"memmap"`` (disk-backed ``CondensedMatrix`` via
+        a resumable :class:`TileStore`; O(tile) resident memory).
+    store_dir:
+        Directory of the tile store (``out="memmap"`` only; a fresh
+        temporary directory when omitted).  Re-running with the same
+        sequences/estimator/tiling resumes: valid tiles are skipped,
+        and a consolidated store returns without computing anything.
+    keep_store_tiles:
+        Keep the per-tile files after consolidation (they are deleted
+        by default to halve the store's disk footprint).
 
     Returns
     -------
-    ``(n, n)`` float64 symmetric matrix, zero diagonal, byte-identical
-    across serial/threads/processes/pool schedules.
+    ``out="memory"``: ``(n, n)`` float64 symmetric matrix, zero
+    diagonal.  Otherwise: a :class:`CondensedMatrix` over the condensed
+    upper triangle.  Values are byte-identical across serial / threads /
+    processes / pool schedules and across every ``out`` placement.
     """
     seqs = _validate_seqs(seqs)
     est = get_estimator(estimator, **estimator_kwargs)
     n = len(seqs)
-    ii, jj = condensed_pair_indices(n)
-    n_pairs = len(ii)
+    n_pairs = condensed_size(n)
     est_name = getattr(est, "name", type(est).__name__)
+    if out not in OUT_MODES:
+        raise ValueError(
+            f"unknown out mode {out!r}; one of {list(OUT_MODES)}"
+        )
+    if store_dir is not None and out != "memmap":
+        raise ValueError("store_dir= requires out='memmap'")
 
     if comm is not None:
         if backend is not None or workers not in (None, 1):
@@ -184,27 +321,46 @@ def all_pairs(
                 "cooperative mode (comm=...) excludes backend=/workers="
             )
         with span(
-            "distance.all_pairs", n=n, estimator=est_name, mode="cooperative"
+            "distance.all_pairs", n=n, estimator=est_name,
+            mode="cooperative", out=out,
         ):
             bounds = _tile_bounds(n_pairs, tile_pairs, comm.size)
+            if out == "memmap":
+                return _all_pairs_cooperative_store(
+                    comm, seqs, est, bounds, n, tile_pairs, store_dir,
+                    keep_store_tiles,
+                )
             state = est.prepare(seqs)
             mine = _compute_tiles(
-                seqs, est, bounds[comm.rank :: comm.size], ii, jj, state
+                seqs, est, bounds[comm.rank :: comm.size], n, state
             )
             parts = [part for rank_parts in comm.allgather(mine)
                      for part in rank_parts]
-            return _merge(n, ii, jj, parts)
+            return _merge_out(n, parts, out)
 
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     if backend is None and workers in (None, 1):
         with span(
-            "distance.all_pairs", n=n, estimator=est_name, mode="serial"
+            "distance.all_pairs", n=n, estimator=est_name,
+            mode="serial", out=out,
         ):
-            state = est.prepare(seqs)
             bounds = _tile_bounds(n_pairs, tile_pairs, 1)
-            return _merge(
-                n, ii, jj, _compute_tiles(seqs, est, bounds, ii, jj, state)
+            if out == "memmap":
+                store, missing, bounds = _open_store(
+                    est, n, bounds,
+                    _effective_tile(n_pairs, tile_pairs, 1), store_dir,
+                )
+                if missing is None:  # already consolidated
+                    return store.matrix(n)
+                if missing:
+                    state = est.prepare(seqs)
+                    _write_tiles(seqs, est, missing, n, state, store)
+                store.consolidate(bounds, n_pairs, keep_store_tiles)
+                return store.matrix(n)
+            state = est.prepare(seqs)
+            return _merge_out(
+                n, _compute_tiles(seqs, est, bounds, n, state), out
             )
 
     from repro.obs.propagate import run_traced
@@ -212,8 +368,28 @@ def all_pairs(
     n_workers = workers if workers is not None else (os.cpu_count() or 1)
     n_workers = max(1, min(n_workers, n_pairs))
     with span(
-        "distance.all_pairs", n=n, estimator=est_name, mode="backend"
+        "distance.all_pairs", n=n, estimator=est_name,
+        mode="backend", out=out,
     ):
+        bounds = _tile_bounds(n_pairs, tile_pairs, n_workers)
+        if out == "memmap":
+            store, missing, bounds = _open_store(
+                est, n, bounds,
+                _effective_tile(n_pairs, tile_pairs, n_workers), store_dir,
+            )
+            if missing is None:
+                return store.matrix(n)
+            if missing:
+                run_traced(
+                    backend,
+                    min(n_workers, len(missing)),
+                    _all_pairs_rank_store,
+                    stage="distance",
+                    args=(seqs, est, missing, str(store.root)),
+                    cost_model=cost_model,
+                )
+            store.consolidate(bounds, n_pairs, keep_store_tiles)
+            return store.matrix(n)
         spmd = run_traced(
             backend,
             n_workers,
@@ -223,4 +399,80 @@ def all_pairs(
             cost_model=cost_model,
         )
         parts = [part for rank_parts in spmd.results for part in rank_parts]
-        return _merge(n, ii, jj, parts)
+        return _merge_out(n, parts, out)
+
+
+def _open_store(
+    est: DistanceEstimator,
+    n: int,
+    bounds: List[Tuple[int, int]],
+    tile: int,
+    store_dir: Optional[Union[str, os.PathLike]],
+) -> Tuple[TileStore, Optional[List[Tuple[int, int]]], List[Tuple[int, int]]]:
+    """Bind (or create) the tile store for this run.
+
+    Returns ``(store, missing, bounds)`` where ``missing`` is the list
+    of tiles still to compute -- empty when all tiles are present but
+    unconsolidated, ``None`` when the store is already consolidated for
+    this exact configuration (the caller returns immediately).
+    """
+    if store_dir is None:
+        store_dir = tempfile.mkdtemp(prefix="repro-tilestore-")
+    store = TileStore(store_dir)
+    resuming = store.prepare(_store_header(n, est, tile))
+    if resuming and store.is_complete():
+        return store, None, bounds
+    missing = store.missing_tiles(bounds) if resuming else list(bounds)
+    return store, missing, bounds
+
+
+def _all_pairs_cooperative_store(
+    comm,
+    seqs: List[Sequence],
+    est: DistanceEstimator,
+    bounds: List[Tuple[int, int]],
+    n: int,
+    tile_pairs: int,
+    store_dir: Optional[Union[str, os.PathLike]],
+    keep_store_tiles: bool,
+) -> CondensedMatrix:
+    """Cooperative (in-SPMD) external-memory mode.
+
+    Rank 0 owns store setup and consolidation; the plan (store root,
+    completion, missing tiles) is shared through an allgather so every
+    rank computes a disjoint share, and two more allgathers act as the
+    barriers around consolidation.  Every rank returns a view over the
+    same consolidated file.
+    """
+    n_pairs = condensed_size(n)
+    tile = _effective_tile(n_pairs, tile_pairs, comm.size)
+    if comm.rank == 0:
+        root = (
+            tempfile.mkdtemp(prefix="repro-tilestore-")
+            if store_dir is None
+            else store_dir
+        )
+        store = TileStore(root)
+        resuming = store.prepare(_store_header(n, est, tile))
+        complete = resuming and store.is_complete()
+        missing = (
+            []
+            if complete
+            else store.missing_tiles(bounds) if resuming else list(bounds)
+        )
+        plan = (str(store.root), complete, missing)
+    else:
+        plan = None
+    root, complete, missing = comm.allgather(plan)[0]
+    store = TileStore(root)
+    if not complete:
+        if missing:
+            state = est.prepare(seqs)
+            _write_tiles(
+                seqs, est, missing[comm.rank :: comm.size], n, state, store
+            )
+        comm.allgather(None)  # barrier: every rank's tiles are published
+        if comm.rank == 0:
+            store.consolidate(bounds, n_pairs, keep_store_tiles)
+        comm.allgather(None)  # barrier: consolidation is visible
+    return store.matrix(n)

@@ -89,6 +89,14 @@ class DistanceConfig:
         (``"threads"``/``"processes"``/``"pool"``; ``None`` = compute serially).
     workers:
         Rank count for the scheduler (``None`` = host core count).
+    out:
+        Result placement (see :data:`repro.distance.OUT_MODES`):
+        ``"memory"`` (dense, the historical default), ``"condensed"``
+        (the flat upper triangle, half the RAM), or ``"memmap"``
+        (disk-backed tile store; O(tile) working memory).
+    store_dir:
+        Tile-store directory for ``out="memmap"`` (``None`` = a fresh
+        temporary store; pass a path to make the run resumable).
     """
 
     estimator: str = "ktuple"
@@ -96,8 +104,18 @@ class DistanceConfig:
     transform: Optional[str] = None
     backend: Optional[str] = None
     workers: Optional[int] = None
+    out: Optional[str] = None
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.distance.allpairs import OUT_MODES
+
+        if self.out is not None and str(self.out).lower() not in OUT_MODES:
+            raise ValueError(
+                f"unknown distance out mode {self.out!r}; one of {OUT_MODES}"
+            )
+        if self.store_dir is not None and str(self.out).lower() != "memmap":
+            raise ValueError("store_dir requires out='memmap'")
         if str(self.estimator).lower() not in available_estimators():
             raise ValueError(
                 f"unknown distance estimator {self.estimator!r}; "
@@ -122,11 +140,16 @@ class DistanceConfig:
             "transform": self.transform,
             "backend": self.backend,
             "workers": self.workers,
+            "out": self.out,
+            "store_dir": self.store_dir,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DistanceConfig":
-        unknown = set(data) - {"estimator", "k", "transform", "backend", "workers"}
+        unknown = set(data) - {
+            "estimator", "k", "transform", "backend", "workers",
+            "out", "store_dir",
+        }
         if unknown:
             raise ValueError(
                 f"unknown DistanceConfig keys {sorted(unknown)}"
@@ -152,18 +175,25 @@ def resolve_distance_stage(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     *,
+    out: Optional[str] = None,
+    store_dir: Optional[str] = None,
     default: Optional[Callable[[], DistanceEstimator]] = None,
     estimator_defaults: Optional[Mapping[str, Mapping[str, Any]]] = None,
-) -> Tuple[DistanceEstimator, Optional[str], Optional[int]]:
+) -> Tuple[
+    DistanceEstimator, Optional[str], Optional[int],
+    Optional[str], Optional[str],
+]:
     """Normalise a baseline's distance options to ``(estimator, backend,
-    workers)``.
+    workers, out, store_dir)``.
 
     ``default`` builds the baseline's historical estimator when
     ``distance`` is None.  ``estimator_defaults`` maps registry names to
     constructor defaults (e.g. the baseline's scoring matrix for
     ``"full-dp"``), applied when the estimator is selected *by name*;
     explicit :class:`DistanceConfig` fields win over them.  Explicit
-    ``backend``/``workers`` arguments win over the config's.
+    ``backend``/``workers``/``out``/``store_dir`` arguments win over the
+    config's.  ``out`` stays ``None`` (caller's choice of default) when
+    neither names a placement.
     """
     estimator_defaults = estimator_defaults or {}
     config: Optional[DistanceConfig] = None
@@ -193,7 +223,21 @@ def resolve_distance_stage(
         backend = config.backend
     if workers is None and config is not None:
         workers = config.workers
+    if out is None and config is not None:
+        out = config.out
+    if store_dir is None and config is not None:
+        store_dir = config.store_dir
     validate_backend_name(backend, "distance backend")
     if workers is not None and workers < 1:
         raise ValueError("distance workers must be >= 1 (or None)")
-    return est, backend, workers
+    if out is not None:
+        from repro.distance.allpairs import OUT_MODES
+
+        out = str(out).lower()
+        if out not in OUT_MODES:
+            raise ValueError(
+                f"unknown distance out mode {out!r}; one of {OUT_MODES}"
+            )
+    if store_dir is not None and out != "memmap":
+        raise ValueError("distance store_dir requires out='memmap'")
+    return est, backend, workers, out, store_dir

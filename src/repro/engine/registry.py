@@ -39,7 +39,13 @@ __all__ = [
 #: :mod:`repro.distance`); registry entries advertise the subset they
 #: support so the serving gateway and the CLI can thread defaults
 #: through ``engine_kwargs`` without guessing.
-DISTANCE_OPTION_NAMES = ("distance", "distance_backend", "distance_workers")
+DISTANCE_OPTION_NAMES = (
+    "distance",
+    "distance_backend",
+    "distance_workers",
+    "distance_out",
+    "distance_store_dir",
+)
 
 #: The tree-seam kwargs a guide-tree engine can accept (see
 #: :mod:`repro.tree`); advertised the same way as the distance seam.
@@ -334,6 +340,6 @@ register_engine("sample-align-d", _sample_align_d_factory)
 register_engine(
     "parallel-baseline",
     _parallel_baseline_factory,
-    distance_options=("distance",),
+    distance_options=("distance", "distance_out", "distance_store_dir"),
     tree_options=("tree",),
 )

@@ -25,6 +25,7 @@ from repro.align.guide_tree import GuideTree
 from repro.align.profile_align import ProfileAlignConfig
 from repro.align.progressive import progressive_align
 from repro.distance import (
+    CondensedMatrix,
     KtupleDistance,
     all_pairs,
     resolve_distance_stage,
@@ -45,14 +46,26 @@ def center_star_tree(d: np.ndarray, labels: TSequence[str]) -> GuideTree:
     remaining leaves attach in order of increasing distance to the
     center (stable on ties, matching the historical fold-in loop).
     Replaying this tree progressively is exactly the classic
-    center-star algorithm.
+    center-star algorithm.  Accepts a dense matrix or a
+    :class:`~repro.distance.tilestore.CondensedMatrix`; condensed input
+    is read one gathered row at a time (per-row sums reduce the same
+    length-``n`` vector dense ``sum(axis=1)`` reduces, so the center
+    pick -- ties included -- is identical).
     """
     n = d.shape[0]
     labels = list(labels)
     if n == 1:
         return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
-    center = int(d.sum(axis=1).argmin())
-    order = [int(i) for i in np.argsort(d[center], kind="stable")
+    if isinstance(d, CondensedMatrix):
+        sums = np.empty(n, dtype=np.float64)
+        for r in range(n):
+            sums[r] = d.row(r).sum()
+        center = int(sums.argmin())
+        center_row = d.row(center)
+    else:
+        center = int(d.sum(axis=1).argmin())
+        center_row = d[center]
+    order = [int(i) for i in np.argsort(center_row, kind="stable")
              if int(i) != center]
     merges = np.empty((n - 1, 2), dtype=np.int64)
     spine = center
@@ -80,6 +93,11 @@ class CenterStar(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    distance_out / distance_store_dir:
+        Result placement of the all-pairs stage (``"memory"``/
+        ``"condensed"``/``"memmap"``; default ``"condensed"``).
+        ``distance_store_dir`` points ``"memmap"`` at a resumable
+        on-disk tile store.
     tree:
         ``None`` (default) keeps the classic center-star caterpillar
         merge order.  Any :mod:`repro.tree` builder selection (name,
@@ -97,6 +115,8 @@ class CenterStar(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    distance_out: str | None = None
+    distance_store_dir: str | None = None
     tree: object = None
     tree_backend: str | None = None
     tree_workers: int | None = None
@@ -112,6 +132,8 @@ class CenterStar(SequentialMsaAligner):
             self.distance,
             self.distance_backend,
             self.distance_workers,
+            out=self.distance_out,
+            store_dir=self.distance_store_dir,
             default=lambda: KtupleDistance(k=self.kmer_k),
             estimator_defaults=scoring_estimator_defaults(
                 self.scoring.matrix, self.scoring.gaps, self.kmer_k
@@ -137,8 +159,9 @@ class CenterStar(SequentialMsaAligner):
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        est, backend, workers = self._distance_stage()
-        d = all_pairs(list(sset), est, backend=backend, workers=workers)
+        est, backend, workers, out, store_dir = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers,
+                      out=out or "condensed", store_dir=store_dir)
         builder, tbackend, tworkers = self._tree_stage()
         tree = (
             center_star_tree(d, ids)

@@ -91,6 +91,11 @@ class ClustalWLike(SequentialMsaAligner):
         Execute the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`; ``"processes"`` uses real
         cores).  Output is byte-identical to the serial stage.
+    distance_out / distance_store_dir:
+        Result placement of the all-pairs stage (``"memory"``/
+        ``"condensed"``/``"memmap"``; default ``"condensed"`` -- the
+        tree builders read it natively).  ``distance_store_dir`` points
+        ``"memmap"`` at a resumable on-disk tile store.
     tree:
         Guide-tree builder routed through :mod:`repro.tree`: any
         registered builder name (``"nj"``, ``"upgma"``, ``"wpgma"``,
@@ -112,6 +117,8 @@ class ClustalWLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    distance_out: str | None = None
+    distance_store_dir: str | None = None
     tree: object = None
     tree_backend: str | None = None
     tree_workers: int | None = None
@@ -130,6 +137,8 @@ class ClustalWLike(SequentialMsaAligner):
             self.distance,
             self.distance_backend,
             self.distance_workers,
+            out=self.distance_out,
+            store_dir=self.distance_store_dir,
             default=lambda: (
                 FullDpDistance(**dp_defaults)
                 if self.distance_mode == "full"
@@ -153,8 +162,9 @@ class ClustalWLike(SequentialMsaAligner):
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        est, backend, workers = self._distance_stage()
-        d = all_pairs(list(sset), est, backend=backend, workers=workers)
+        est, backend, workers, out, store_dir = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers,
+                      out=out or "condensed", store_dir=store_dir)
         builder, tbackend, tworkers = self._tree_stage()
         tree = builder.build(d, ids)
         weights = clustal_sequence_weights(tree)

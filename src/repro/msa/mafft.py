@@ -232,6 +232,11 @@ class MafftLike(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the all-pairs stage on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    distance_out / distance_store_dir:
+        Result placement of the all-pairs stage (``"memory"``/
+        ``"condensed"``/``"memmap"``; default ``"condensed"``).
+        ``distance_store_dir`` points ``"memmap"`` at a resumable
+        on-disk tile store.
     tree:
         Guide-tree builder routed through :mod:`repro.tree` (builder
         name, :class:`~repro.tree.TreeConfig`/dict, or instance;
@@ -249,6 +254,8 @@ class MafftLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    distance_out: str | None = None
+    distance_store_dir: str | None = None
     tree: object = None
     tree_backend: str | None = None
     tree_workers: int | None = None
@@ -265,6 +272,8 @@ class MafftLike(SequentialMsaAligner):
             self.distance,
             self.distance_backend,
             self.distance_workers,
+            out=self.distance_out,
+            store_dir=self.distance_store_dir,
             default=lambda: KtupleDistance(k=self.kmer_k),
             estimator_defaults=scoring_estimator_defaults(
                 self.scoring.matrix, self.scoring.gaps, self.kmer_k
@@ -284,8 +293,9 @@ class MafftLike(SequentialMsaAligner):
         if len(sset) == 1:
             return Alignment.from_single(sset[0])
         ids = sset.ids
-        est, backend, workers = self._distance_stage()
-        d = all_pairs(list(sset), est, backend=backend, workers=workers)
+        est, backend, workers, out, store_dir = self._distance_stage()
+        d = all_pairs(list(sset), est, backend=backend, workers=workers,
+                      out=out or "condensed", store_dir=store_dir)
         builder, tbackend, tworkers = self._tree_stage()
         tree = builder.build(d, ids)
         merge_fn = None

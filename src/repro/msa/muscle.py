@@ -73,6 +73,12 @@ class MuscleLike(SequentialMsaAligner):
     distance_backend / distance_workers:
         Run the stage-1 all-pairs on an execution backend
         (:func:`repro.distance.all_pairs`); byte-identical output.
+    distance_out / distance_store_dir:
+        Stage-1 result placement (``"memory"``/``"condensed"``/
+        ``"memmap"``; default ``"condensed"`` -- the tree builders read
+        it natively, so the dense matrix is never materialised).
+        ``distance_store_dir`` points ``"memmap"`` at a resumable
+        on-disk tile store.
     tree:
         Guide-tree builder routed through :mod:`repro.tree` (builder
         name, :class:`~repro.tree.TreeConfig`/dict, or instance;
@@ -94,6 +100,8 @@ class MuscleLike(SequentialMsaAligner):
     distance: object = None
     distance_backend: str | None = None
     distance_workers: int | None = None
+    distance_out: str | None = None
+    distance_store_dir: str | None = None
     tree: object = None
     tree_backend: str | None = None
     tree_workers: int | None = None
@@ -109,6 +117,8 @@ class MuscleLike(SequentialMsaAligner):
             self.distance,
             self.distance_backend,
             self.distance_workers,
+            out=self.distance_out,
+            store_dir=self.distance_store_dir,
             default=lambda: KtupleDistance(k=self.kmer_k),
             estimator_defaults=scoring_estimator_defaults(
                 self.scoring.matrix, self.scoring.gaps, self.kmer_k
@@ -143,9 +153,10 @@ class MuscleLike(SequentialMsaAligner):
 
         # Stage 1: draft tree from alignment-free k-mer distances (or any
         # estimator/builder from the repro.distance / repro.tree registries).
-        est, backend, workers = self._distance_stage()
+        est, backend, workers, out, store_dir = self._distance_stage()
         builder, tbackend, tworkers = self._tree_stage()
-        d1 = all_pairs(list(sset), est, backend=backend, workers=workers)
+        d1 = all_pairs(list(sset), est, backend=backend, workers=workers,
+                       out=out or "condensed", store_dir=store_dir)
         tree = builder.build(d1, ids)
         aln = progressive_align(list(sset), tree, self.scoring,
                                 merge_fn=merge_fn,

@@ -83,6 +83,12 @@ class ParallelClustalW:
         ledger meters its communication; a ``backend``/``workers``
         choice inside ``distance`` is rejected -- the virtual cluster
         *is* the backend here.
+    distance_out / distance_store_dir:
+        Result placement of the cooperative distance stage
+        (``"memory"``/``"condensed"``/``"memmap"``; default
+        ``"condensed"``).  With ``"memmap"`` the ranks write disjoint
+        tile shares into one store and every rank returns a view over
+        the same consolidated file.
     tree:
         Guide-tree builder run (redundantly, stage 2 is cheap) on every
         rank: a registry name (``"nj"``, ``"upgma"``, ...), a
@@ -103,6 +109,8 @@ class ParallelClustalW:
     scoring: ProfileAlignConfig = field(default_factory=ProfileAlignConfig)
     kmer_k: int = 4
     distance: object = None
+    distance_out: str | None = None
+    distance_store_dir: str | None = None
     tree: object = None
     merge_mode: str = "root"
 
@@ -114,9 +122,11 @@ class ParallelClustalW:
         self._distance_estimator()  # fail fast on bad distance options
         self._tree_builder()  # fail fast on bad tree options
 
-    def _distance_estimator(self):
-        est, backend, workers = resolve_distance_stage(
+    def _distance_stage(self):
+        est, backend, workers, out, store_dir = resolve_distance_stage(
             self.distance,
+            out=self.distance_out,
+            store_dir=self.distance_store_dir,
             default=lambda: KtupleDistance(k=self.kmer_k),
             estimator_defaults=scoring_estimator_defaults(
                 self.scoring.matrix, self.scoring.gaps, self.kmer_k
@@ -128,7 +138,10 @@ class ParallelClustalW:
                 "SPMD program (n_procs ranks); a nested distance "
                 "backend/workers choice is not supported"
             )
-        return est
+        return est, out, store_dir
+
+    def _distance_estimator(self):
+        return self._distance_stage()[0]
 
     def _tree_builder(self):
         builder, backend, workers = resolve_tree_stage(
@@ -161,14 +174,16 @@ class ParallelClustalW:
             )
         seq_list = list(sset)
         scoring = self.scoring
-        estimator = self._distance_estimator()
+        estimator, out, store_dir = self._distance_stage()
         builder = self._tree_builder()
         cooperative = self.merge_mode == "cooperative"
 
         def program(comm: VirtualComm):
             # Stage 1 (parallel): all-pairs distances through the unified
-            # subsystem -- tiles split over the ranks, allgathered.
-            d = all_pairs(seq_list, estimator, comm=comm)
+            # subsystem -- tiles split over the ranks, allgathered (or,
+            # out="memmap", written once to a shared tile store).
+            d = all_pairs(seq_list, estimator, comm=comm,
+                          out=out or "condensed", store_dir=store_dir)
             # Stage 2 (replicated, cheap): guide tree + weights.
             tree = builder.build(d, [s.id for s in seq_list])
             weights = clustal_sequence_weights(tree)

@@ -229,6 +229,14 @@ class AlignmentGateway:
         processes`` puts every baseline's all-pairs stage on real
         cores.  Also applied pre-hash, so coalescing and caching key on
         the effective distance configuration.
+    default_distance_out / default_distance_store_dir:
+        Distance-stage result placement defaults, folded the same way:
+        ``default_distance_out="memmap"`` (with an optional store
+        directory) routes every unopinionated guide-tree baseline's
+        all-pairs stage through the disk-backed tile store
+        (:mod:`repro.distance.tilestore`), bounding the gateway's
+        resident memory at genome scale.  Applied pre-hash like the
+        other distance defaults.
     default_tree / default_tree_backend:
         Tree-stage defaults, symmetric with the distance pair: engines
         whose registry entry advertises the :mod:`repro.tree` seam get
@@ -265,6 +273,8 @@ class AlignmentGateway:
         default_backend: Optional[str] = None,
         default_distance: Optional[str] = None,
         default_distance_backend: Optional[str] = None,
+        default_distance_out: Optional[str] = None,
+        default_distance_store_dir: Optional[str] = None,
         default_tree: Optional[str] = None,
         default_tree_backend: Optional[str] = None,
         pool: Optional[Any] = None,
@@ -294,6 +304,22 @@ class AlignmentGateway:
 
             validate_backend_name(
                 default_distance_backend, "default_distance_backend"
+            )
+        if default_distance_out is not None:
+            from repro.distance import OUT_MODES
+
+            if str(default_distance_out).lower() not in OUT_MODES:
+                raise ValueError(
+                    f"default_distance_out {default_distance_out!r} is not "
+                    f"a distance out mode; one of {list(OUT_MODES)}"
+                )
+        if (
+            default_distance_store_dir is not None
+            and str(default_distance_out).lower() != "memmap"
+        ):
+            raise ValueError(
+                "default_distance_store_dir requires "
+                "default_distance_out='memmap'"
             )
         if default_tree is not None:
             from repro.tree import available_builders
@@ -344,6 +370,13 @@ class AlignmentGateway:
             if default_distance_backend is None
             else default_distance_backend.lower()
         )
+        self._default_distance_out = (
+            None
+            if default_distance_out is None
+            else default_distance_out.lower()
+        )
+        # A path, not a registry name: never lowered.
+        self._default_distance_store_dir = default_distance_store_dir
         self._default_tree = (
             None if default_tree is None else default_tree.lower()
         )
@@ -544,6 +577,7 @@ class AlignmentGateway:
         if (
             self._default_distance is not None
             or self._default_distance_backend is not None
+            or self._default_distance_out is not None
         ):
             from repro.engine.registry import engine_distance_options
 
@@ -560,6 +594,20 @@ class AlignmentGateway:
                 and "distance_backend" not in request.engine_kwargs
             ):
                 updates["distance_backend"] = self._default_distance_backend
+            if (
+                self._default_distance_out is not None
+                and "distance_out" in supported
+                and "distance_out" not in request.engine_kwargs
+            ):
+                updates["distance_out"] = self._default_distance_out
+                if (
+                    self._default_distance_store_dir is not None
+                    and "distance_store_dir" in supported
+                    and "distance_store_dir" not in request.engine_kwargs
+                ):
+                    updates["distance_store_dir"] = (
+                        self._default_distance_store_dir
+                    )
         if (
             self._default_tree is not None
             or self._default_tree_backend is not None

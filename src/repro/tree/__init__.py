@@ -32,6 +32,11 @@ here via ``tree=`` / ``tree_backend=`` options, so one
 them on real cores.
 """
 
+from repro.tree.anchors import (
+    AnchorTreeBuilder,
+    anchor_guide_tree,
+    select_anchors,
+)
 from repro.tree.builders import (
     DEFAULT_BUILDER,
     NeighborJoiningBuilder,
@@ -51,8 +56,11 @@ from repro.tree.merge import progressive_merge
 from repro.tree.schedule import MergeSchedule, merge_schedule
 
 __all__ = [
+    "AnchorTreeBuilder",
     "DEFAULT_BUILDER",
     "MergeSchedule",
+    "anchor_guide_tree",
+    "select_anchors",
     "NeighborJoiningBuilder",
     "SingleLinkageBuilder",
     "TreeBuilder",

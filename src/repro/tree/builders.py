@@ -49,6 +49,12 @@ from typing import (
 import numpy as np
 
 from repro.align.guide_tree import GuideTree
+from repro.distance.tilestore import (
+    CondensedMatrix,
+    condensed_index,
+    condensed_row_indices,
+    condensed_size,
+)
 from repro.obs.tracing import span
 
 __all__ = [
@@ -94,9 +100,23 @@ class TreeBuilder(ABC):
         return self.build(dist, labels)
 
 
-def check_distance_matrix(d: np.ndarray) -> np.ndarray:
-    """Validate and return a float64 copy-safe view of ``d``."""
+def check_distance_matrix(
+    d: Union[np.ndarray, CondensedMatrix]
+) -> Union[np.ndarray, CondensedMatrix]:
+    """Validate a distance input without densifying it.
+
+    Accepts a dense square matrix (returned as a validated float64
+    array, as before), a :class:`~repro.distance.tilestore.CondensedMatrix`
+    (returned as-is -- symmetry and zero diagonal hold by construction),
+    or a 1-D condensed vector in ``np.triu_indices(n, k=1)`` order
+    (wrapped into a ``CondensedMatrix``; non-triangular sizes are
+    rejected by the wrapper).
+    """
+    if isinstance(d, CondensedMatrix):
+        return d
     d = np.asarray(d, dtype=np.float64)
+    if d.ndim == 1:
+        return CondensedMatrix(d)
     if d.ndim != 2 or d.shape[0] != d.shape[1]:
         raise ValueError("distance matrix must be square")
     if not np.allclose(d, d.T, atol=1e-9):
@@ -104,6 +124,26 @@ def check_distance_matrix(d: np.ndarray) -> np.ndarray:
     if (np.diag(d) != 0).any():
         raise ValueError("distance matrix diagonal must be zero")
     return d
+
+
+def _matrix_size(d: Union[np.ndarray, CondensedMatrix]) -> int:
+    return d.n if isinstance(d, CondensedMatrix) else int(d.shape[0])
+
+
+def _condensed_working(
+    d: Union[np.ndarray, CondensedMatrix]
+) -> np.ndarray:
+    """A mutable float64 condensed working copy of a validated input."""
+    if isinstance(d, CondensedMatrix):
+        return np.array(d.condensed, dtype=np.float64)
+    n = d.shape[0]
+    w = np.empty(condensed_size(n), dtype=np.float64)
+    pos = 0
+    for r in range(n - 1):
+        cnt = n - r - 1
+        w[pos:pos + cnt] = d[r, r + 1:]
+        pos += cnt
+    return w
 
 
 def _resolve_labels(
@@ -116,38 +156,65 @@ def _resolve_labels(
 
 
 def _agglomerate(
-    dist: np.ndarray, labels: Optional[TSequence[str]], linkage: str
+    dist: Union[np.ndarray, CondensedMatrix],
+    labels: Optional[TSequence[str]],
+    linkage: str,
 ) -> GuideTree:
-    with span("tree.build", linkage=linkage, n=int(np.asarray(dist).shape[0])):
-        return _agglomerate_impl(dist, labels, linkage)
+    d = check_distance_matrix(dist)
+    with span("tree.build", linkage=linkage, n=_matrix_size(d)):
+        return _agglomerate_impl(d, labels, linkage)
 
 
 def _agglomerate_impl(
-    dist: np.ndarray, labels: Optional[TSequence[str]], linkage: str
+    dist: Union[np.ndarray, CondensedMatrix],
+    labels: Optional[TSequence[str]],
+    linkage: str,
 ) -> GuideTree:
     """Agglomerative clustering under ``average``/``weighted``/``single``
     linkage.
 
-    O(n^2) memory, close to O(n^2) time in practice via nearest-neighbour
-    caching: each cluster remembers its current nearest partner and only
-    clusters whose partner was invalidated rescan their row.  The cache
-    is sound for all three linkages because the distance from any row to
-    the merged cluster (size-weighted mean, plain mean, or minimum of the
+    Condensed-native: the working state is the flat ``n*(n-1)/2`` upper
+    triangle (half the dense footprint, and `CondensedMatrix` inputs --
+    memmap-backed or not -- never densify).  Rows are gathered on demand
+    with ``inf`` at the diagonal and at merged-away positions, which
+    reproduces the dense update arithmetic operation-for-operation, so
+    trees are byte-identical to the historical dense implementation.
+
+    Close to O(n^2) time in practice via nearest-neighbour caching: each
+    cluster remembers its current nearest partner and only clusters
+    whose partner was invalidated rescan their row.  The cache is sound
+    for all three linkages because the distance from any row to the
+    merged cluster (size-weighted mean, plain mean, or minimum of the
     two old entries) can never drop below that row's cached minimum.
     """
-    d = check_distance_matrix(dist).copy()
-    n = d.shape[0]
+    d = check_distance_matrix(dist)
+    n = _matrix_size(d)
     labels = _resolve_labels(n, labels)
     if n == 1:
         return GuideTree(1, np.zeros((0, 2)), np.zeros(0), labels)
 
     INF = np.inf
-    np.fill_diagonal(d, INF)
+    w = _condensed_working(d)
+
+    def gather(r: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row ``r`` as (condensed offsets, columns, dense row with
+        ``inf`` at the diagonal).  Merged-away entries read ``inf``
+        straight from ``w`` -- no activity mask needed."""
+        idx, cols = condensed_row_indices(n, r)
+        row = np.empty(n, dtype=np.float64)
+        row[cols] = w[idx]
+        row[r] = INF
+        return idx, cols, row
+
     active = np.ones(n, dtype=bool)
     node_id = np.arange(n)  # tree node id of each active row
     sizes = np.ones(n)
-    nn = d.argmin(axis=1)
-    nn_dist = d[np.arange(n), nn]
+    nn = np.empty(n, dtype=np.int64)
+    nn_dist = np.empty(n, dtype=np.float64)
+    for r in range(n):
+        _, _, row = gather(r)
+        c = int(row.argmin())
+        nn[r], nn_dist[r] = c, row[c]
 
     merges = np.empty((n - 1, 2), dtype=np.int64)
     heights = np.empty(n - 1)
@@ -158,22 +225,24 @@ def _agglomerate_impl(
         masked = np.where(active, nn_dist, INF)
         i = int(masked.argmin())
         j = int(nn[i])
-        h = d[i, j]
+        h = float(w[condensed_index(n, i, j)])
         merges[step] = (node_id[i], node_id[j])
         heights[step] = h / 2.0
 
         # Merge j into i under the selected linkage update.
+        idx_i, cols_i, row_i = gather(i)
+        idx_j, _, row_j = gather(j)
         if linkage == "weighted":
-            new_row = 0.5 * (d[i] + d[j])
+            new_row = 0.5 * (row_i + row_j)
         elif linkage == "single":
-            new_row = np.minimum(d[i], d[j])
+            new_row = np.minimum(row_i, row_j)
         else:  # average
-            new_row = (sizes[i] * d[i] + sizes[j] * d[j]) / (sizes[i] + sizes[j])
+            new_row = (
+                sizes[i] * row_i + sizes[j] * row_j
+            ) / (sizes[i] + sizes[j])
         new_row[i] = INF
-        d[i] = new_row
-        d[:, i] = new_row
-        d[j] = INF
-        d[:, j] = INF
+        w[idx_i] = new_row[cols_i]
+        w[idx_j] = INF
         active[j] = False
         sizes[i] += sizes[j]
         node_id[i] = next_id
@@ -186,8 +255,7 @@ def _agglomerate_impl(
         for r in np.concatenate(([i], stale)):
             if not active[r]:
                 continue
-            row = np.where(active, d[r], INF)
-            row[r] = INF
+            _, _, row = gather(r)
             c = int(row.argmin())
             nn[r], nn_dist[r] = c, row[c]
     return GuideTree(n, merges, heights, labels)
@@ -249,15 +317,18 @@ class NeighborJoiningBuilder(TreeBuilder):
     def build(
         self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
     ) -> GuideTree:
-        with span(
-            "tree.build", linkage="nj", n=int(np.asarray(dist).shape[0])
-        ):
-            return self._build(dist, labels)
+        d = check_distance_matrix(dist)
+        with span("tree.build", linkage="nj", n=_matrix_size(d)):
+            return self._build(d, labels)
 
     def _build(
         self, dist: np.ndarray, labels: Optional[TSequence[str]] = None
     ) -> GuideTree:
-        d = check_distance_matrix(dist).copy()
+        d = check_distance_matrix(dist)
+        # NJ is O(n^3) with dense submatrix gathers at every join; any
+        # input large enough for densifying to hurt is already out of
+        # reach for this builder, so condensed input just densifies.
+        d = d.to_dense() if isinstance(d, CondensedMatrix) else d.copy()
         n = d.shape[0]
         labels = _resolve_labels(n, labels)
         if n == 1:

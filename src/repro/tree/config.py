@@ -45,11 +45,24 @@ class TreeConfig:
     workers:
         Rank count for the merge scheduler (``None`` = host core count,
         capped at the schedule's peak width).
+    anchors:
+        For ``builder="anchor"``: the number of sampled anchor leaves
+        ``K`` (``None`` = the builder's default).  Rejected for other
+        builders.
+    anchor_base:
+        For ``builder="anchor"``: the registry name of the exact builder
+        run over the anchors (``None`` = the builder's default).
+    anchor_seed:
+        For ``builder="anchor"``: the anchor-sampling seed (``None`` =
+        the builder's default seed, not "no seed").
     """
 
     builder: str = "upgma"
     backend: Optional[str] = None
     workers: Optional[int] = None
+    anchors: Optional[int] = None
+    anchor_base: Optional[str] = None
+    anchor_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if str(self.builder).lower() not in available_builders():
@@ -60,6 +73,27 @@ class TreeConfig:
         validate_backend_name(self.backend, "tree backend")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None)")
+        anchor_opts = {
+            "anchors": self.anchors,
+            "anchor_base": self.anchor_base,
+            "anchor_seed": self.anchor_seed,
+        }
+        set_opts = sorted(k for k, v in anchor_opts.items() if v is not None)
+        if set_opts and str(self.builder).lower() != "anchor":
+            raise ValueError(
+                f"{set_opts} only apply to the 'anchor' builder, "
+                f"not {self.builder!r}"
+            )
+        if self.anchors is not None and self.anchors < 1:
+            raise ValueError("anchors must be >= 1 (or None)")
+        if (
+            self.anchor_base is not None
+            and str(self.anchor_base).lower() not in available_builders()
+        ):
+            raise ValueError(
+                f"unknown anchor base builder {self.anchor_base!r}; "
+                f"available: {available_builders()}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able form; inverse of :meth:`from_dict`."""
@@ -67,18 +101,31 @@ class TreeConfig:
             "builder": self.builder,
             "backend": self.backend,
             "workers": self.workers,
+            "anchors": self.anchors,
+            "anchor_base": self.anchor_base,
+            "anchor_seed": self.anchor_seed,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TreeConfig":
-        unknown = set(data) - {"builder", "backend", "workers"}
+        unknown = set(data) - {
+            "builder", "backend", "workers",
+            "anchors", "anchor_base", "anchor_seed",
+        }
         if unknown:
             raise ValueError(f"unknown TreeConfig keys {sorted(unknown)}")
         return cls(**dict(data))
 
     def make_builder(self) -> TreeBuilder:
         """Build the configured tree builder."""
-        return get_builder(self.builder)
+        kwargs: Dict[str, Any] = {}
+        if self.anchors is not None:
+            kwargs["anchors"] = self.anchors
+        if self.anchor_base is not None:
+            kwargs["base"] = self.anchor_base
+        if self.anchor_seed is not None:
+            kwargs["seed"] = self.anchor_seed
+        return get_builder(self.builder, **kwargs)
 
 
 def resolve_tree_stage(

@@ -207,19 +207,38 @@ class TestDistanceConfig:
             DistanceConfig.from_dict({"estimator": "ktuple", "tile": 9})
 
     def test_resolve_from_dict_carries_backend(self):
-        est, backend, workers = resolve_distance_stage(
+        est, backend, workers, out, store_dir = resolve_distance_stage(
             {"estimator": "ktuple", "k": 6, "backend": "threads",
              "workers": 3}
         )
         assert est.k == 6 and backend == "threads" and workers == 3
+        assert out is None and store_dir is None
 
     def test_explicit_args_win_over_config(self):
-        est, backend, workers = resolve_distance_stage(
+        est, backend, workers, out, store_dir = resolve_distance_stage(
             DistanceConfig(estimator="ktuple", backend="threads", workers=4),
             backend="processes",
             workers=2,
         )
         assert backend == "processes" and workers == 2
+
+    def test_resolve_carries_out_and_store_dir(self):
+        est, backend, workers, out, store_dir = resolve_distance_stage(
+            DistanceConfig(
+                estimator="ktuple", out="memmap", store_dir="/tmp/ts"
+            )
+        )
+        assert out == "memmap" and store_dir == "/tmp/ts"
+        _, _, _, out, _ = resolve_distance_stage("ktuple", out="condensed")
+        assert out == "condensed"
+        with pytest.raises(ValueError):
+            resolve_distance_stage("ktuple", out="ram")
+        with pytest.raises(ValueError):
+            resolve_distance_stage("ktuple", store_dir="/tmp/ts")
+        with pytest.raises(ValueError):
+            DistanceConfig(out="nope")
+        with pytest.raises(ValueError):
+            DistanceConfig(store_dir="/tmp/ts")  # needs out="memmap"
 
     def test_bad_distance_value(self):
         with pytest.raises(ValueError):

@@ -113,9 +113,12 @@ class TestEngineSeam:
     def test_registry_advertises_the_seam(self):
         for name in ("clustalw", "muscle", "mafft-nwnsi", "center-star"):
             assert engine_distance_options(name) == {
-                "distance", "distance_backend", "distance_workers"
+                "distance", "distance_backend", "distance_workers",
+                "distance_out", "distance_store_dir",
             }
-        assert engine_distance_options("parallel-baseline") == {"distance"}
+        assert engine_distance_options("parallel-baseline") == {
+            "distance", "distance_out", "distance_store_dir"
+        }
         assert engine_distance_options("tcoffee") == frozenset()
         assert engine_distance_options("sample-align-d") == frozenset()
         assert engine_distance_options("not-an-engine") == frozenset()

@@ -1,0 +1,98 @@
+"""External-memory distances under worker crashes.
+
+The memmap ``all_pairs`` mode writes tiles from pool workers; a
+SIGKILLed worker must never corrupt the store (atomic publishes), the
+retried run must produce byte-identical results, and a run that dies
+for good must leave a store a later run resumes instead of recomputing.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distance import all_pairs
+from repro.distance.tilestore import TileStore, condensed_size
+from repro.obs.metrics import registry
+from repro.pool import PoolBackend
+from repro.pool.shm import shm_dir_segments
+
+from tests.pool.test_supervision import KillerEstimator
+
+
+def condensed_bytes(dense):
+    ii, jj = np.triu_indices(dense.shape[0], k=1)
+    return dense[ii, jj].tobytes()
+
+
+class TestCrashMidMemmapAllPairs:
+    def test_retried_run_byte_identical(self, pool, tmp_path, diverse_family):
+        seqs = list(diverse_family.sequences)[:16]
+        expected = condensed_bytes(all_pairs(seqs, "ktuple"))
+        killer = KillerEstimator(str(tmp_path / "tile-crash"))
+        before = pool.stats()["respawns"]
+        mm = all_pairs(
+            seqs, killer, backend="pool", workers=4,
+            out="memmap", store_dir=tmp_path / "store",
+        )
+        assert mm.condensed.tobytes() == expected
+        assert os.path.exists(killer.sentinel)  # the crash really happened
+        assert pool.stats()["respawns"] > before
+        assert shm_dir_segments(pool.name) == []
+
+    def test_fatal_crash_leaves_resumable_store(
+        self, pool, tmp_path, diverse_family
+    ):
+        seqs = list(diverse_family.sequences)[:16]
+        expected = condensed_bytes(all_pairs(seqs, "ktuple"))
+        root = tmp_path / "store"
+        # Partial progress first: a non-crashing run writes some tiles,
+        # then we undo its consolidation and damage part of the store --
+        # the on-disk state a run killed midway leaves behind.
+        all_pairs(
+            seqs, "ktuple", out="memmap", store_dir=root,
+            tile_pairs=8, keep_store_tiles=True,
+        )
+        store = TileStore(root)
+        store.complete_path.unlink()
+        store.condensed_path.unlink()
+        tiles = sorted(store.tiles_dir.glob("*.tile"))
+        assert len(tiles) > 2
+        tiles[0].unlink()  # vanished tile
+        tiles[1].write_bytes(tiles[1].read_bytes()[:12])  # torn write
+        # The rerun (same estimator/tiling, this time on the pool)
+        # recomputes only the damaged tiles and consolidates.
+        before = registry().counter("tilestore.resumed_tiles").value
+        mm = all_pairs(
+            seqs, "ktuple", backend="pool", workers=4,
+            out="memmap", store_dir=root, tile_pairs=8,
+        )
+        assert mm.condensed.tobytes() == expected
+        n_tiles = -(-condensed_size(len(seqs)) // 8)
+        resumed = (
+            registry().counter("tilestore.resumed_tiles").value - before
+        )
+        assert resumed == n_tiles - 2
+        assert shm_dir_segments(pool.name) == []
+
+    def test_give_up_then_resume_completes(
+        self, pool, tmp_path, diverse_family
+    ):
+        seqs = list(diverse_family.sequences)[:16]
+        expected = condensed_bytes(all_pairs(seqs, "ktuple"))
+        root = tmp_path / "store"
+        killer = KillerEstimator(str(tmp_path / "always-dead"))
+        backend = PoolBackend(pool=pool, max_retries=0)
+        with pytest.raises(RuntimeError, match="after 1 attempts"):
+            all_pairs(
+                seqs, killer, backend=backend, workers=4,
+                out="memmap", store_dir=root, tile_pairs=8,
+            )
+        # Whatever tiles made it to disk before the crash are intact
+        # (atomic publishes) -- the signature-matched rerun keeps them.
+        rerun = all_pairs(
+            seqs, killer, backend=backend, workers=4,
+            out="memmap", store_dir=root, tile_pairs=8,
+        )
+        assert rerun.condensed.tobytes() == expected
+        assert shm_dir_segments(pool.name) == []

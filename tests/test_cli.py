@@ -511,10 +511,11 @@ class TestDistanceCli:
         payload = json.loads(capsys.readouterr().out)
         by_name = {e["name"]: e for e in payload["engines"]}
         assert by_name["clustalw"]["distance_options"] == [
-            "distance", "distance_backend", "distance_workers"
+            "distance", "distance_backend", "distance_out",
+            "distance_store_dir", "distance_workers"
         ]
         assert by_name["parallel-baseline"]["distance_options"] == [
-            "distance"
+            "distance", "distance_out", "distance_store_dir"
         ]
         assert "kband" in payload["distance_estimators"]
 

@@ -1,0 +1,192 @@
+"""The anchored sampled guide-tree builder: invariants and degeneracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance import all_pairs
+from repro.distance.tilestore import CondensedMatrix, condensed_size
+from repro.seq.sequence import Sequence
+from repro.tree import (
+    AnchorTreeBuilder,
+    TreeConfig,
+    anchor_guide_tree,
+    available_builders,
+    get_builder,
+    select_anchors,
+)
+
+
+def random_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    vec = rng.uniform(0.05, 1.0, size=condensed_size(n))
+    d = np.zeros((n, n))
+    ii, jj = np.triu_indices(n, k=1)
+    d[ii, jj] = vec
+    d[jj, ii] = vec
+    return d
+
+
+def tree_bytes(tree):
+    return tree.merges.tobytes() + tree.heights.tobytes()
+
+
+@pytest.fixture(scope="module")
+def family():
+    from repro.datagen.rose import generate_family
+
+    fam = generate_family(
+        n_sequences=30, mean_length=60, relatedness=400, seed=17,
+        track_alignment=False,
+    )
+    return list(fam.sequences)
+
+
+class TestSelectAnchors:
+    @given(
+        n=st.integers(1, 200),
+        k=st.integers(1, 250),
+        seed=st.one_of(st.none(), st.integers(0, 5)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_unique_in_range(self, n, k, seed):
+        idx = select_anchors(n, k, seed)
+        assert len(idx) == min(k, n)
+        assert (np.diff(idx) > 0).all()  # sorted, distinct
+        assert idx[0] >= 0 and idx[-1] < n
+
+    def test_deterministic(self):
+        a = select_anchors(100, 10, seed=42)
+        assert np.array_equal(a, select_anchors(100, 10, seed=42))
+        assert not np.array_equal(a, select_anchors(100, 10, seed=43))
+
+    def test_evenly_spaced_without_seed(self):
+        assert np.array_equal(
+            select_anchors(10, 5, seed=None), [0, 2, 4, 6, 8]
+        )
+
+    def test_all_leaves_when_k_exceeds_n(self):
+        assert np.array_equal(select_anchors(4, 99, seed=1), np.arange(4))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            select_anchors(10, 0, seed=1)
+
+
+class TestAnchorBuilder:
+    def test_registered(self):
+        assert "anchor" in available_builders()
+        assert isinstance(get_builder("anchor"), AnchorTreeBuilder)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AnchorTreeBuilder(anchors=0)
+        with pytest.raises(ValueError):
+            AnchorTreeBuilder(base="anchor")
+
+    @given(
+        n=st.integers(2, 40),
+        k=st.integers(1, 12),
+        seed=st.one_of(st.none(), st.integers(0, 3)),
+        base=st.sampled_from(["upgma", "wpgma", "nj", "single-linkage"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_leaf_exactly_once(self, n, k, seed, base):
+        d = random_matrix(n, seed=n)
+        tree = AnchorTreeBuilder(anchors=k, base=base, seed=seed).build(d)
+        assert tree.n_leaves == n
+        leaves = tree.merges[tree.merges < n]
+        assert sorted(int(x) for x in leaves) == list(range(n))
+
+    @pytest.mark.parametrize("base", ["upgma", "nj"])
+    def test_anchors_at_n_degenerates_to_base(self, base):
+        d = random_matrix(20, seed=4)
+        exact = get_builder(base).build(d)
+        for k in (20, 50):
+            sampled = AnchorTreeBuilder(anchors=k, base=base).build(d)
+            assert tree_bytes(sampled) == tree_bytes(exact)
+
+    def test_dense_and_condensed_inputs_identical(self):
+        n = 25
+        d = random_matrix(n, seed=9)
+        ii, jj = np.triu_indices(n, k=1)
+        builder = AnchorTreeBuilder(anchors=7, seed=1)
+        from_dense = builder.build(d)
+        from_cond = builder.build(CondensedMatrix(d[ii, jj]))
+        from_vec = builder.build(d[ii, jj])  # bare condensed vector
+        assert tree_bytes(from_dense) == tree_bytes(from_cond)
+        assert tree_bytes(from_dense) == tree_bytes(from_vec)
+
+    def test_labels_carried(self):
+        d = random_matrix(6)
+        labels = [f"leaf{i}" for i in range(6)]
+        tree = AnchorTreeBuilder(anchors=3).build(d, labels)
+        assert tree.labels == labels
+
+    def test_pure_function_of_params(self):
+        d = random_matrix(30, seed=2)
+        b = AnchorTreeBuilder(anchors=8, seed=5)
+        assert tree_bytes(b.build(d)) == tree_bytes(b.build(d))
+        other = AnchorTreeBuilder(anchors=8, seed=6).build(d)
+        assert tree_bytes(b.build(d)) != tree_bytes(other)
+
+
+class TestAnchorGuideTree:
+    def test_matches_builder_over_full_matrix(self, family):
+        d = all_pairs(family, "ktuple")
+        ids = [s.id for s in family]
+        for k in (1, 5, 11):
+            via_rect = anchor_guide_tree(
+                family, "ktuple", anchors=k, seed=3, labels=ids
+            )
+            via_matrix = AnchorTreeBuilder(anchors=k, seed=3).build(d, ids)
+            assert via_rect.labels == via_matrix.labels
+            assert tree_bytes(via_rect) == tree_bytes(via_matrix)
+
+    def test_anchors_at_n_matches_exact_pipeline(self, family):
+        d = all_pairs(family, "ktuple")
+        exact = get_builder("upgma").build(d)
+        sampled = anchor_guide_tree(
+            family, "ktuple", anchors=len(family), seed=None
+        )
+        assert tree_bytes(sampled) == tree_bytes(exact)
+
+    def test_tree_drives_progressive_alignment(self, family):
+        from repro.align.profile_align import ProfileAlignConfig
+        from repro.align.progressive import progressive_align
+
+        ids = [s.id for s in family]
+        tree = anchor_guide_tree(
+            family, "ktuple", anchors=6, labels=ids
+        )
+        aln = progressive_align(family, tree, ProfileAlignConfig())
+        assert sorted(aln.ids) == sorted(ids)
+
+    def test_single_sequence(self):
+        tree = anchor_guide_tree([Sequence("a", "MKV")], "ktuple")
+        assert tree.n_leaves == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anchor_guide_tree([], "ktuple")
+
+
+class TestTreeConfigAnchorParams:
+    def test_round_trip(self):
+        cfg = TreeConfig(
+            builder="anchor", anchors=32, anchor_base="nj", anchor_seed=7
+        )
+        assert TreeConfig.from_dict(cfg.to_dict()) == cfg
+        builder = cfg.make_builder()
+        assert isinstance(builder, AnchorTreeBuilder)
+        assert builder.anchors == 32
+        assert builder.base == "nj"
+        assert builder.seed == 7
+
+    def test_anchor_params_need_anchor_builder(self):
+        with pytest.raises(ValueError, match="anchor"):
+            TreeConfig(builder="upgma", anchors=16)
+        with pytest.raises(ValueError):
+            TreeConfig(builder="anchor", anchors=0)
+        with pytest.raises(ValueError):
+            TreeConfig(builder="anchor", anchor_base="nope")
